@@ -1,0 +1,15 @@
+"""Ablation benchmark: topology-aware renumbering and reduction engine."""
+
+from repro.harness import ablations
+
+
+def test_ablation_allreduce_placement(benchmark):
+    result = benchmark(ablations.allreduce_placement_ablation)
+    assert result.gain > 1.5
+    print("\n" + ablations.render([result]))
+
+
+def test_ablation_reduce_engine(benchmark):
+    result = benchmark(ablations.reduce_engine_ablation)
+    assert result.gain > 1.0
+    print("\n" + ablations.render([result]))

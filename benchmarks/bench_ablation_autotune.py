@@ -1,0 +1,11 @@
+"""Ablation benchmark: plan autotuning vs fixed explicit plans."""
+
+from conftest import run_once
+
+from repro.harness import ablations
+
+
+def test_ablation_autotune(benchmark):
+    result = run_once(benchmark, ablations.autotune_ablation)
+    assert result.gain > 1.0
+    print("\n" + ablations.render([result]))

@@ -1,0 +1,9 @@
+"""Ablation benchmark: 32x256MB striping vs single-split I/O."""
+
+from repro.harness import ablations
+
+
+def test_ablation_io_striping(benchmark):
+    result = benchmark(ablations.io_striping_ablation)
+    assert result.gain > 10
+    print("\n" + ablations.render([result]))

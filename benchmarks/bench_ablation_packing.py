@@ -1,0 +1,11 @@
+"""Ablation benchmark: gradient packing vs per-layer allreduce."""
+
+from conftest import run_once
+
+from repro.harness import ablations
+
+
+def test_ablation_gradient_packing(benchmark):
+    result = run_once(benchmark, ablations.packing_ablation)
+    assert result.gain > 2.0
+    print("\n" + ablations.render([result]))

@@ -1,0 +1,12 @@
+"""Benchmark: the allreduce algorithm sweep (executed collectives)."""
+
+from conftest import run_once
+
+from repro.harness import allreduce_sweep
+
+
+def test_allreduce_sweep(benchmark):
+    points = run_once(benchmark, allreduce_sweep.generate, (1024, 1 << 18, 1 << 22))
+    at_large = {p.algorithm: p.time_s for p in points if p.nbytes == 1 << 22}
+    assert at_large["rhd (round-robin)"] < at_large["rhd (block)"]
+    print("\n" + allreduce_sweep.render(points))

@@ -1,0 +1,51 @@
+"""Microbenchmarks: the executed collective engine on real buffers.
+
+These time the actual Python data movement of the simulated collectives
+(the machinery every experiment relies on), not the modeled SW26010 time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    SimComm,
+    binomial_allreduce,
+    block_placement,
+    rhd_allreduce,
+    ring_allreduce,
+    round_robin_placement,
+)
+from repro.topology import LinearCostModel, TaihuLightFabric
+
+MODEL = LinearCostModel(alpha=1e-6, beta1=1e-10, beta2=4e-10, gamma=3e-10)
+P, Q = 16, 4
+N_ELEMS = 1 << 16
+
+
+def setup_buffers():
+    rng = np.random.default_rng(0)
+    return [rng.normal(size=N_ELEMS) for _ in range(P)]
+
+
+@pytest.mark.parametrize(
+    "algo,placement_fn",
+    [
+        (ring_allreduce, block_placement),
+        (binomial_allreduce, block_placement),
+        (rhd_allreduce, block_placement),
+        (rhd_allreduce, round_robin_placement),
+    ],
+    ids=["ring", "binomial", "rhd-block", "rhd-round-robin"],
+)
+def test_allreduce_engine(benchmark, algo, placement_fn):
+    fabric = TaihuLightFabric(n_nodes=P, nodes_per_supernode=Q)
+
+    def run():
+        bufs = setup_buffers()
+        comm = SimComm(fabric, placement_fn(P, Q), cost=MODEL)
+        algo(comm, bufs)
+        return bufs
+
+    bufs = benchmark(run)
+    expected = np.sum(setup_buffers(), axis=0)
+    np.testing.assert_allclose(bufs[0], expected, rtol=1e-10)

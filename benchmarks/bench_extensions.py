@@ -1,0 +1,17 @@
+"""Benchmarks: the extension harnesses (memory budget, straggler study)."""
+
+from conftest import run_once
+
+from repro.harness import memory_budget, straggler_study
+
+
+def test_memory_budget(benchmark):
+    rows = run_once(benchmark, memory_budget.generate)
+    assert all(r.footprint.fits() for r in rows)  # paper batches all fit
+    print("\n" + memory_budget.render(rows))
+
+
+def test_straggler_study(benchmark):
+    points = benchmark(straggler_study.generate)
+    assert all(p.mean_inflation >= 1.0 for p in points)
+    print("\n" + straggler_study.render(points))

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 10 (weak-scaling speedups to 1024 nodes)."""
+
+from conftest import run_once
+
+from repro.harness import fig10_scalability
+
+
+def test_fig10_scalability(benchmark):
+    points = run_once(benchmark, fig10_scalability.generate)
+    at_1024 = {p.label: p.speedup for p in points if p.n_nodes == 1024}
+    assert at_1024["ResNet50, B=32"] > at_1024["AlexNet, B=64"]
+    print("\n" + fig10_scalability.render(points))

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 11 (communication time fractions)."""
+
+from conftest import run_once
+
+from repro.harness import fig10_scalability, fig11_comm_ratio
+
+
+def test_fig11_comm_ratio(benchmark):
+    points = run_once(benchmark, fig10_scalability.generate)
+    at_1024 = {p.label: p.comm_fraction for p in points if p.n_nodes == 1024}
+    assert at_1024["AlexNet, B=64"] > at_1024["AlexNet, B=256"]
+    print("\n" + fig11_comm_ratio.render(points))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 2 (DMA bandwidth curves)."""
+
+from repro.harness import fig2_dma
+
+
+def test_fig2_dma_curves(benchmark):
+    panels = benchmark(fig2_dma.generate)
+    assert set(panels) == {"continuous", "strided"}
+    series = {s.label: s for s in panels["continuous"]}
+    assert series["64CPE"].bandwidth_gbs[-1] > series["1CPE"].bandwidth_gbs[-1]
+    print("\n" + fig2_dma.render(panels))

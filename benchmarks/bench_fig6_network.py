@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 6 (Sunway vs Infiniband P2P curves)."""
+
+from repro.harness import fig6_network
+
+
+def test_fig6_network_curves(benchmark):
+    curves = benchmark(fig6_network.generate)
+    assert set(curves) == {"bandwidth", "latency"}
+    print("\n" + fig6_network.render(curves))

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 7 (8-node allreduce example).
+
+The timed body executes both allreduce schemes over real 1 MB buffers,
+so this also benchmarks the collective engine itself.
+"""
+
+from repro.harness import fig7_allreduce
+
+
+def test_fig7_allreduce_example(benchmark):
+    result = benchmark(fig7_allreduce.generate)
+    assert result.improvement > 1.0
+    assert result.reduction_exact
+    print("\n" + fig7_allreduce.render(result))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 8 (AlexNet per-layer GPU vs SW26010)."""
+
+from conftest import run_once
+
+from repro.harness import fig8_alexnet_layers
+
+
+def test_fig8_alexnet_layers(benchmark):
+    rows = run_once(benchmark, fig8_alexnet_layers.generate)
+    assert any(r.name == "conv1" for r in rows)
+    print("\n" + fig8_alexnet_layers.render(rows))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 9 (VGG-16 per-layer GPU vs SW26010)."""
+
+from conftest import run_once
+
+from repro.harness import fig9_vgg_layers
+
+
+def test_fig9_vgg_layers(benchmark):
+    rows = run_once(benchmark, fig9_vgg_layers.generate)
+    assert any(r.name == "conv1_1" for r in rows)
+    print("\n" + fig9_vgg_layers.render(rows))

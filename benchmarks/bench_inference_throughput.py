@@ -1,0 +1,12 @@
+"""Benchmark: the inference-throughput extension table."""
+
+from conftest import run_once
+
+from repro.harness import inference_throughput
+
+
+def test_inference_throughput(benchmark):
+    rows = run_once(benchmark, inference_throughput.generate)
+    assert len(rows) == 5
+    assert all(r.sw_img_s > 0 for r in rows)
+    print("\n" + inference_throughput.render(rows))

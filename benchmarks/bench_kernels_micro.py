@@ -1,0 +1,48 @@
+"""Microbenchmarks: functional kernel implementations.
+
+Times the NumPy execution paths the framework actually trains with: the
+literal register-communication GEMM schedule, im2col/col2im, and batched
+convolution forward/backward.
+"""
+
+import numpy as np
+
+from repro.frame.conv_ops import conv_backward, conv_forward
+from repro.kernels import gemm_register_schedule, im2col, col2im
+
+RNG = np.random.default_rng(0)
+
+
+def test_gemm_register_schedule(benchmark):
+    a = RNG.normal(size=(128, 128))
+    b = RNG.normal(size=(128, 128))
+    c = benchmark(gemm_register_schedule, a, b)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10)
+
+
+def test_im2col(benchmark):
+    x = RNG.normal(size=(64, 56, 56))
+    cols = benchmark(im2col, x, 3, 1, 1)
+    assert cols.shape == (64 * 9, 56 * 56)
+
+
+def test_col2im(benchmark):
+    cols = RNG.normal(size=(64 * 9, 56 * 56))
+    x = benchmark(col2im, cols, (64, 56, 56), 3, 1, 1)
+    assert x.shape == (64, 56, 56)
+
+
+def test_conv_forward_batched(benchmark):
+    x = RNG.normal(size=(8, 32, 28, 28)).astype(np.float32)
+    w = RNG.normal(size=(64, 32, 3, 3)).astype(np.float32)
+    b = RNG.normal(size=64).astype(np.float32)
+    y = benchmark(conv_forward, x, w, b, 1, 1)
+    assert y.shape == (8, 64, 28, 28)
+
+
+def test_conv_backward_batched(benchmark):
+    x = RNG.normal(size=(8, 32, 28, 28)).astype(np.float32)
+    w = RNG.normal(size=(64, 32, 3, 3)).astype(np.float32)
+    dy = RNG.normal(size=(8, 64, 28, 28)).astype(np.float32)
+    dx, dw, db = benchmark(conv_backward, x, w, dy, 1, 1)
+    assert dx.shape == x.shape and dw.shape == w.shape

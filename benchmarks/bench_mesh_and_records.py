@@ -1,0 +1,33 @@
+"""Microbenchmarks: mesh-bus simulator, record I/O, prototxt parsing."""
+
+import numpy as np
+
+from repro.frame.prototxt import parse_prototxt
+from repro.hw.mesh_sim import MeshSimulator, gemm_inner_schedule
+from repro.io.records import FileBackedSource, write_synthetic_records
+
+
+def test_mesh_gemm_schedule(benchmark):
+    ops = gemm_inner_schedule(4096, 4096, 1e5)
+
+    trace = benchmark(MeshSimulator().run, ops)
+    assert trace.finish_s > 0
+    assert len(trace.bus_busy_s) == 16
+
+
+def test_record_file_random_reads(benchmark, tmp_path):
+    path = str(tmp_path / "bench.swrec")
+    write_synthetic_records(path, 256, num_classes=10, sample_shape=(3, 16, 16))
+    src = FileBackedSource(path, seed=0)
+
+    images, labels = benchmark(src.next_batch, 64)
+    assert images.shape == (64, 3, 16, 16)
+
+
+def test_prototxt_parse(benchmark):
+    text = "\n".join(
+        f'layer {{ name: "l{i}" type: "ReLU" bottom: "b{i}" top: "t{i}" }}'
+        for i in range(100)
+    )
+    msg = benchmark(parse_prototxt, text)
+    assert len(msg["layer"]) == 100

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the Sec. III naive-port motivation comparison."""
+
+from repro.harness import naive_port
+
+
+def test_naive_port_motivation(benchmark):
+    rows = benchmark(naive_port.generate)
+    assert all(r.swcaffe_s < r.naive_mpe_s for r in rows)
+    print("\n" + naive_port.render(rows))

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I (processor comparison)."""
+
+from repro.harness import table1_specs
+
+
+def test_table1_specs(benchmark):
+    rows = benchmark(table1_specs.generate)
+    assert len(rows) == 3
+    print("\n" + table1_specs.render(rows))

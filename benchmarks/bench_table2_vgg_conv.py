@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table II (VGG-16 conv plan comparison)."""
+
+from repro.harness import table2_vgg_conv
+
+
+def test_table2_vgg_conv(benchmark):
+    rows = benchmark(table2_vgg_conv.generate)
+    assert len(rows) == 13
+    winners = {r.name: r.forward.winner for r in rows}
+    assert winners["1_2"] == "implicit" and winners["3_1"] == "explicit"
+    print("\n" + table2_vgg_conv.render(rows))

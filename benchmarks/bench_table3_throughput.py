@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table III (throughput on CPU / K40m / SW26010)."""
+
+from conftest import run_once
+
+from repro.harness import table3_throughput
+
+
+def test_table3_throughput(benchmark):
+    rows = run_once(benchmark, table3_throughput.generate)
+    by_name = {r.network: r for r in rows}
+    assert by_name["AlexNet"].sw_over_gpu > 1.0
+    assert by_name["VGG-16"].sw_over_gpu < 1.0
+    print("\n" + table3_throughput.render(rows))

@@ -1,0 +1,13 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures; heavyweight
+harnesses (whole-network builds) run as single-round pedantic benchmarks so
+`pytest benchmarks/ --benchmark-only` finishes in minutes, not hours.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one round/iteration and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare allreduce algorithms on the simulated TaihuLight fabric.
+
+Executes ring, binomial-tree, recursive halving/doubling (MPICH baseline)
+and the paper's topology-aware variant over *real* gradient buffers on a
+64-node / 4-supernode allocation, verifying every algorithm produces the
+bit-exact sum while accounting simulated time with the alpha-beta-gamma
+cost model. This is Fig. 7's story at a more realistic scale.
+
+Run:  python examples/allreduce_comparison.py
+"""
+
+import numpy as np
+
+from repro.simmpi import (
+    SimComm,
+    binomial_allreduce,
+    block_placement,
+    ring_allreduce,
+    rhd_allreduce,
+    round_robin_placement,
+)
+from repro.topology import LinearCostModel, TaihuLightFabric
+from repro.utils.tables import Table
+from repro.utils.units import format_time
+
+P, Q = 64, 16  # 64 nodes over 4 supernodes
+PAYLOAD_MB = 8  # packed gradient size
+MODEL = LinearCostModel(alpha=1e-6, beta1=1 / 10e9, beta2=4 / 10e9, gamma=3e-10)
+
+
+def main() -> None:
+    n_elems = PAYLOAD_MB * 1024 * 1024 // 8
+    fabric = TaihuLightFabric(n_nodes=P, nodes_per_supernode=Q)
+    rng = np.random.default_rng(0)
+    base = [rng.normal(size=n_elems) for _ in range(P)]
+    expected = np.sum(base, axis=0)
+
+    runs = [
+        ("ring (block)", ring_allreduce, block_placement(P, Q)),
+        ("binomial tree (block)", binomial_allreduce, block_placement(P, Q)),
+        ("recursive halving/doubling (block)", rhd_allreduce, block_placement(P, Q)),
+        ("RHD + round-robin renumbering", rhd_allreduce, round_robin_placement(P, Q)),
+    ]
+    table = Table(
+        headers=["algorithm", "time", "alpha steps", "cross bytes/rank", "exact"],
+        title=f"Allreduce of {PAYLOAD_MB} MB over {P} nodes in {P // Q} supernodes:",
+    )
+    for name, algo, placement in runs:
+        bufs = [b.copy() for b in base]
+        comm = SimComm(fabric, placement, cost=MODEL)
+        result = algo(comm, bufs)
+        exact = all(np.allclose(b, expected, rtol=1e-10) for b in bufs)
+        table.add_row(
+            name,
+            format_time(result.time_s),
+            result.alpha_count,
+            int(result.bytes_cross),
+            exact,
+        )
+    print(table.render())
+    print(
+        "\nThe ring minimizes bandwidth but pays 2(p-1) latencies; the tree "
+        "sends whole vectors; RHD balances both, and the round-robin "
+        "renumbering moves its heavy steps inside supernodes — the paper's "
+        "design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

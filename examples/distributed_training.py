@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Distributed synchronous SGD over simulated TaihuLight nodes.
+
+Runs the paper's Algorithm 1 end to end on 8 simulated workers spread over
+2 supernodes: every worker trains a replica on its own data shard, packed
+gradients are averaged with a *real* executed allreduce (data actually
+moves through the recursive halving/doubling schedule), and the replicas
+are verified to stay bit-identical. Both the MPICH-style block-numbered
+allreduce and swCaffe's topology-aware round-robin renumbering are run so
+you can see the simulated communication time drop.
+
+Run:  python examples/distributed_training.py
+"""
+
+
+from repro.frame.layers import DataLayer, InnerProductLayer, ReLULayer, SoftmaxWithLossLayer
+from repro.frame.net import Net
+from repro.io.dataset import SyntheticImageNet
+from repro.parallel import DistributedTrainer
+from repro.utils.rng import seeded_rng
+from repro.utils.units import format_time
+
+N_WORKERS = 8
+NODES_PER_SUPERNODE = 4
+BATCH_PER_WORKER = 8
+CLASSES = 4
+STEPS = 25
+
+
+def build_worker_net(rank: int) -> Net:
+    """One identically-initialized replica reading its own shard."""
+    source = SyntheticImageNet(
+        num_classes=CLASSES, sample_shape=(128,), noise=0.3, seed=1000 + rank
+    )
+    net = Net(f"worker{rank}")
+    net.add(DataLayer("data", source, BATCH_PER_WORKER), bottoms=[], tops=["data", "label"])
+    # Weight seeds must match across workers or replicas diverge at step 0.
+    net.add(InnerProductLayer("ip1", 512, rng=seeded_rng(21)), ["data"], ["h1"])
+    net.add(ReLULayer("relu1"), ["h1"], ["a1"])
+    net.add(InnerProductLayer("ip2", CLASSES, rng=seeded_rng(22)), ["a1"], ["logits"])
+    net.add(SoftmaxWithLossLayer("loss"), ["logits", "label"], ["loss"])
+    return net
+
+
+def main() -> None:
+    for algorithm in ("rhd", "topo-aware"):
+        trainer = DistributedTrainer(
+            net_factory=build_worker_net,
+            n_workers=N_WORKERS,
+            algorithm=algorithm,
+            nodes_per_supernode=NODES_PER_SUPERNODE,
+            base_lr=0.05,
+            momentum=0.9,
+        )
+        stats = trainer.step(STEPS)
+        in_sync = trainer.replicas_in_sync(atol=1e-6)
+        print(
+            f"{algorithm:>11}: loss {stats.losses[0]:.3f} -> {stats.losses[-1]:.3f} "
+            f"over {STEPS} steps on {N_WORKERS} workers | "
+            f"simulated comm {format_time(stats.comm_time_s)} | "
+            f"replicas in sync: {in_sync}"
+        )
+    print(
+        "\nThe topology-aware variant moves the heavy halving/doubling steps "
+        "inside supernodes, cutting the simulated communication time; the "
+        "numerics are identical (both reduce to the exact same averages)."
+    )
+
+if __name__ == "__main__":
+    main()

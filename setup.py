@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package.
+
+The environment has no network access and no `wheel` distribution, so PEP
+660 editable installs fail; this file lets pip fall back to the legacy
+`setup.py develop` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

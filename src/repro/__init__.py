@@ -1,0 +1,38 @@
+"""swCaffe reproduction: simulated parallel DNN training on Sunway TaihuLight.
+
+This package reproduces *swCaffe: A Parallel Framework for Accelerating
+Deep Learning Applications on Sunway TaihuLight* (Fang, Li et al., CLUSTER
+2018) as a pure-Python system. It contains:
+
+* :mod:`repro.hw` — an architectural model of the SW26010 many-core
+  processor (core groups, CPE mesh, LDM, DMA, register communication);
+* :mod:`repro.topology` — the TaihuLight two-level interconnect and its
+  alpha-beta-gamma communication cost model;
+* :mod:`repro.simmpi` — a simulated MPI with the paper's allreduce family,
+  including the topology-aware round-robin-renumbered algorithm;
+* :mod:`repro.kernels` — SW26010 execution plans for GEMM, explicit and
+  implicit convolution, pooling and layout transforms, each with a
+  functional NumPy implementation and a simulated-time cost model;
+* :mod:`repro.frame` — a Caffe-compatible framework core (Blob, Layer,
+  Net, Solver) plus a model zoo (AlexNet, VGG-16/19, ResNet-50, GoogLeNet);
+* :mod:`repro.parallel` — the 4-core-group threading model and the
+  distributed synchronous-SGD trainer (Algorithm 1);
+* :mod:`repro.io` — the striped disk-array parallel I/O model and a
+  synthetic ImageNet dataset;
+* :mod:`repro.perf` — roofline baselines for the K40m GPU and host CPU;
+* :mod:`repro.harness` — one module per paper table/figure, regenerating
+  the reported rows/series.
+
+Quickstart::
+
+    from repro.frame.model_zoo import lenet
+    from repro.frame.solver import SGDSolver
+
+    net = lenet.build(batch_size=16)
+    solver = SGDSolver(net, base_lr=0.01)
+    stats = solver.step(10)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+report
+    Regenerate every paper table/figure (minutes; builds the model zoo).
+experiment NAME
+    Run one harness by name (``table2``, ``fig10``, ``ablations``, ...).
+profile NET [BATCH]
+    Print the simulated SW26010 profile of a model-zoo network.
+train [ITERS]
+    Run the LeNet quickstart training loop.
+list
+    Show available experiments and networks.
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Experiment name -> harness module path.
+EXPERIMENTS = {
+    "table1": "repro.harness.table1_specs",
+    "fig2": "repro.harness.fig2_dma",
+    "fig6": "repro.harness.fig6_network",
+    "fig7": "repro.harness.fig7_allreduce",
+    "table2": "repro.harness.table2_vgg_conv",
+    "fig8": "repro.harness.fig8_alexnet_layers",
+    "fig9": "repro.harness.fig9_vgg_layers",
+    "table3": "repro.harness.table3_throughput",
+    "fig10": "repro.harness.fig10_scalability",
+    "fig11": "repro.harness.fig11_comm_ratio",
+    "ablations": "repro.harness.ablations",
+    "naive-port": "repro.harness.naive_port",
+    "inference": "repro.harness.inference_throughput",
+    "memory": "repro.harness.memory_budget",
+    "straggler": "repro.harness.straggler_study",
+    "allreduce-sweep": "repro.harness.allreduce_sweep",
+}
+
+#: Network name -> (builder path, default batch).
+NETWORKS = {
+    "lenet": ("repro.frame.model_zoo.lenet", "build", 16),
+    "alexnet": ("repro.frame.model_zoo.alexnet", "build", 256),
+    "vgg16": ("repro.frame.model_zoo.vgg", "build_vgg16", 64),
+    "vgg19": ("repro.frame.model_zoo.vgg", "build_vgg19", 64),
+    "resnet18": ("repro.frame.model_zoo.resnet_small", "build_resnet18", 32),
+    "resnet34": ("repro.frame.model_zoo.resnet_small", "build_resnet34", 32),
+    "resnet50": ("repro.frame.model_zoo.resnet", "build_resnet50", 32),
+    "googlenet": ("repro.frame.model_zoo.googlenet", "build", 128),
+}
+
+
+def _usage() -> str:
+    return (
+        "usage: python -m repro <command>\n\n"
+        "commands:\n"
+        "  report                regenerate every paper table/figure\n"
+        f"  experiment NAME       one of: {', '.join(sorted(EXPERIMENTS))}\n"
+        f"  profile NET [BATCH]   one of: {', '.join(sorted(NETWORKS))}\n"
+        "  train [ITERS]         quickstart LeNet training\n"
+        "  list                  show experiments and networks\n"
+    )
+
+
+def cmd_report(_: list[str]) -> int:
+    from repro.harness import report
+
+    report.run()
+    return 0
+
+
+def cmd_experiment(args: list[str]) -> int:
+    if not args or args[0] not in EXPERIMENTS:
+        print(_usage(), file=sys.stderr)
+        return 2
+    import importlib
+
+    module = importlib.import_module(EXPERIMENTS[args[0]])
+    print(module.render())
+    return 0
+
+
+def cmd_profile(args: list[str]) -> int:
+    if not args or args[0] not in NETWORKS:
+        print(_usage(), file=sys.stderr)
+        return 2
+    import importlib
+
+    from repro.utils.profiler import NetProfiler
+
+    mod_path, fn_name, default_batch = NETWORKS[args[0]]
+    batch = int(args[1]) if len(args) > 1 else default_batch
+    builder = getattr(importlib.import_module(mod_path), fn_name)
+    net = builder(batch_size=batch)
+    print(NetProfiler(net).render())
+    return 0
+
+
+def cmd_train(args: list[str]) -> int:
+    from repro.frame.model_zoo import lenet
+    from repro.frame.solver import SGDSolver
+    from repro.utils.units import format_time
+
+    iters = int(args[0]) if args else 50
+    net = lenet.build(batch_size=16)
+    solver = SGDSolver(net, base_lr=0.005, momentum=0.9)
+    stats = solver.step(iters)
+    print(
+        f"trained LeNet for {iters} iterations: loss "
+        f"{stats.losses[0]:.3f} -> {stats.losses[-1]:.3f} "
+        f"(simulated SW26010 time {format_time(stats.simulated_time_s)})"
+    )
+    return 0
+
+
+def cmd_list(_: list[str]) -> int:
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("networks:", ", ".join(sorted(NETWORKS)))
+    return 0
+
+
+COMMANDS = {
+    "report": cmd_report,
+    "experiment": cmd_experiment,
+    "profile": cmd_profile,
+    "train": cmd_train,
+    "list": cmd_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_usage())
+        return 0
+    if argv[0] not in COMMANDS:
+        print(_usage(), file=sys.stderr)
+        return 2
+    return COMMANDS[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

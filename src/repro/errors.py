@@ -1,0 +1,21 @@
+"""Package-wide exception types."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LDMAllocationError(ReproError):
+    """Raised when a kernel plan requests more LDM than a CPE provides."""
+
+
+class PlanError(ReproError):
+    """Raised when a kernel plan cannot be constructed for a given shape."""
+
+
+class ShapeError(ReproError):
+    """Raised when layer/blob shapes are inconsistent."""
+
+
+class CommunicatorError(ReproError):
+    """Raised on invalid simulated-MPI usage (bad rank, mismatched buffers)."""

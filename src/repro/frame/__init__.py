@@ -1,0 +1,49 @@
+"""swCaffe framework core: Blob / Layer / Net / Solver.
+
+Mirrors Caffe's three-level architecture (Sec. II-C):
+
+* **layers** (:mod:`repro.frame.layers`) implement the per-layer algorithms,
+  each paired with an SW26010 kernel plan for simulated timing;
+* the **net** (:mod:`repro.frame.net`) wires layers into a DAG and runs
+  forward/backward propagation over named blobs;
+* **solvers** (:mod:`repro.frame.solver`) drive training (SGD with
+  momentum, weight decay and learning-rate policies) and host the
+  distributed-training hooks.
+"""
+
+from repro.frame.blob import Blob
+from repro.frame.layer import Layer, LayerCost
+from repro.frame.net import Net
+from repro.frame.netspec import build_from_spec, load_spec, save_spec
+from repro.frame.prototxt import net_from_prototxt, solver_from_prototxt
+from repro.frame.snapshot import load_solver, load_weights, save_solver, save_weights
+from repro.frame.solver import SGDSolver
+from repro.frame.solvers_ext import (
+    AdaGradSolver,
+    AdamSolver,
+    LARSSolver,
+    NesterovSolver,
+    RMSPropSolver,
+)
+
+__all__ = [
+    "Blob",
+    "Layer",
+    "LayerCost",
+    "Net",
+    "SGDSolver",
+    "NesterovSolver",
+    "AdaGradSolver",
+    "RMSPropSolver",
+    "AdamSolver",
+    "LARSSolver",
+    "build_from_spec",
+    "load_spec",
+    "save_spec",
+    "net_from_prototxt",
+    "solver_from_prototxt",
+    "save_weights",
+    "load_weights",
+    "save_solver",
+    "load_solver",
+]

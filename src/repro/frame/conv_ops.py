@@ -1,0 +1,134 @@
+"""Vectorized NumPy convolution arithmetic shared by the conv layer.
+
+These are the *functional* kernels (bit-level semantics of the SW26010
+plans, minus the hardware). Forward/backward are implemented as K*K
+strided-slice contractions — mathematically identical to im2col+GEMM and to
+the implicit blocked kernel, but efficient in NumPy for whole batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.kernels.im2col import conv_out_dim
+
+
+def conv_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    pad: int,
+    groups: int = 1,
+) -> np.ndarray:
+    """Batched convolution forward: (B,Ni,H,W) x (No,Ni/g,K,K) -> (B,No,Ho,Wo)."""
+    if groups > 1:
+        return _grouped(conv_forward, x, weight, bias, stride, pad, groups)
+    b, ni, h, w = x.shape
+    no, ni_w, k, k2 = weight.shape
+    if ni_w != ni or k != k2:
+        raise ShapeError(f"weight {weight.shape} incompatible with input {x.shape}")
+    ho = conv_out_dim(h, k, stride, pad)
+    wo = conv_out_dim(w, k, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+    out = np.zeros((b, no, ho, wo), dtype=np.result_type(x, weight))
+    for i in range(k):
+        for j in range(k):
+            patch = xp[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride]
+            out += np.einsum("bchw,oc->bohw", patch, weight[:, :, i, j], optimize=True)
+    if bias is not None:
+        out += bias.reshape(1, no, 1, 1)
+    return out
+
+
+def _grouped(fn, x, weight, third, stride, pad, groups, **kwargs):
+    """Dispatch a conv op group by group and stitch the results.
+
+    ``third`` is the bias (forward) or dy (backward); outputs are
+    concatenated (forward) or recombined (backward).
+    """
+    b, ni, h, w = x.shape
+    no = weight.shape[0]
+    if ni % groups or no % groups:
+        raise ShapeError(
+            f"channels (Ni={ni}, No={no}) not divisible by groups={groups}"
+        )
+    nig, nog = ni // groups, no // groups
+    if fn is conv_forward:
+        outs = []
+        for g in range(groups):
+            bias_g = third[g * nog : (g + 1) * nog] if third is not None else None
+            outs.append(
+                conv_forward(
+                    x[:, g * nig : (g + 1) * nig],
+                    weight[g * nog : (g + 1) * nog],
+                    bias_g,
+                    stride,
+                    pad,
+                )
+            )
+        return np.concatenate(outs, axis=1)
+    # backward
+    need_input_grad = kwargs.get("need_input_grad", True)
+    dx = np.zeros_like(x, dtype=np.float64) if need_input_grad else None
+    dw = np.zeros_like(weight, dtype=np.float64)
+    db = np.zeros(no, dtype=np.float64)
+    for g in range(groups):
+        dxg, dwg, dbg = conv_backward(
+            x[:, g * nig : (g + 1) * nig],
+            weight[g * nog : (g + 1) * nog],
+            third[:, g * nog : (g + 1) * nog],
+            stride,
+            pad,
+            need_input_grad=need_input_grad,
+        )
+        if need_input_grad:
+            dx[:, g * nig : (g + 1) * nig] = dxg
+        dw[g * nog : (g + 1) * nog] = dwg
+        db[g * nog : (g + 1) * nog] = dbg
+    if dx is not None:
+        dx = dx.astype(x.dtype, copy=False)
+    return dx, dw.astype(weight.dtype, copy=False), db.astype(weight.dtype, copy=False)
+
+
+def conv_backward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    dy: np.ndarray,
+    stride: int,
+    pad: int,
+    *,
+    need_input_grad: bool = True,
+    groups: int = 1,
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+    """Batched convolution backward: returns (dx, dw, db)."""
+    if groups > 1:
+        return _grouped(
+            conv_backward, x, weight, dy, stride, pad, groups,
+            need_input_grad=need_input_grad,
+        )
+    b, ni, h, w = x.shape
+    no, _, k, _ = weight.shape
+    _, _, ho, wo = dy.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+    dw = np.zeros_like(weight, dtype=np.float64)
+    dxp = (
+        np.zeros((b, ni, h + 2 * pad, w + 2 * pad), dtype=np.float64)
+        if need_input_grad
+        else None
+    )
+    for i in range(k):
+        for j in range(k):
+            patch = xp[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride]
+            dw[:, :, i, j] = np.einsum("bohw,bchw->oc", dy, patch, optimize=True)
+            if need_input_grad:
+                dxp[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += (
+                    np.einsum("bohw,oc->bchw", dy, weight[:, :, i, j], optimize=True)
+                )
+    db = dy.sum(axis=(0, 2, 3))
+    dx = None
+    if need_input_grad:
+        dx = dxp[:, :, pad : pad + h, pad : pad + w] if pad else dxp
+        dx = np.ascontiguousarray(dx)
+    return dx, dw.astype(weight.dtype, copy=False), db.astype(weight.dtype, copy=False)

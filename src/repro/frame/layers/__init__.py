@@ -1,0 +1,53 @@
+"""swCaffe layer zoo.
+
+Every layer type the evaluated networks (AlexNet-BN, VGG-16/19, ResNet-50,
+GoogLeNet) need, plus the swCaffe-specific tensor-transformation layer and
+an LSTM layer (the paper's example of a GEMM-dominated complex layer).
+"""
+
+from repro.frame.layers.data import DataLayer
+from repro.frame.layers.convolution import ConvolutionLayer
+from repro.frame.layers.inner_product import InnerProductLayer
+from repro.frame.layers.relu import ReLULayer
+from repro.frame.layers.pooling import PoolingLayer
+from repro.frame.layers.batch_norm import BatchNormLayer
+from repro.frame.layers.lrn import LRNLayer
+from repro.frame.layers.dropout import DropoutLayer
+from repro.frame.layers.softmax import SoftmaxLayer, SoftmaxWithLossLayer
+from repro.frame.layers.accuracy import AccuracyLayer
+from repro.frame.layers.concat import ConcatLayer
+from repro.frame.layers.eltwise import EltwiseLayer
+from repro.frame.layers.transform import TensorTransformLayer
+from repro.frame.layers.lstm import LSTMLayer
+from repro.frame.layers.activations import ELULayer, PowerLayer, SigmoidLayer, TanHLayer
+from repro.frame.layers.reshape_ops import FlattenLayer, ReshapeLayer, SliceLayer, SplitLayer
+from repro.frame.layers.scale import ScaleLayer
+from repro.frame.layers.euclidean_loss import EuclideanLossLayer
+
+__all__ = [
+    "EuclideanLossLayer",
+    "ELULayer",
+    "PowerLayer",
+    "SigmoidLayer",
+    "TanHLayer",
+    "FlattenLayer",
+    "ReshapeLayer",
+    "SliceLayer",
+    "SplitLayer",
+    "ScaleLayer",
+    "DataLayer",
+    "ConvolutionLayer",
+    "InnerProductLayer",
+    "ReLULayer",
+    "PoolingLayer",
+    "BatchNormLayer",
+    "LRNLayer",
+    "DropoutLayer",
+    "SoftmaxLayer",
+    "SoftmaxWithLossLayer",
+    "AccuracyLayer",
+    "ConcatLayer",
+    "EltwiseLayer",
+    "TensorTransformLayer",
+    "LSTMLayer",
+]

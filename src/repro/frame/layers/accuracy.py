@@ -1,0 +1,49 @@
+"""Top-k accuracy layer (evaluation only, no backward)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frame.blob import Blob
+from repro.frame.layer import Layer
+
+
+class AccuracyLayer(Layer):
+    """Fraction of rows whose label appears in the top-k logits."""
+
+    type = "Accuracy"
+
+    def __init__(self, name: str, top_k: int = 1, params=None) -> None:
+        super().__init__(name, params)
+        if top_k <= 0:
+            raise ShapeError(f"{name}: top_k must be positive")
+        self.top_k = int(top_k)
+        self.propagate_down = False
+
+    def check_bottom(self, bottom: list[Blob]) -> None:
+        self.require_bottoms(bottom, 2, self.type)
+        if len(bottom[0].shape) != 2:
+            raise ShapeError(f"{self.name}: logits must be (B, C)")
+        if self.top_k > bottom[0].shape[1]:
+            raise ShapeError(
+                f"{self.name}: top_k={self.top_k} exceeds class count "
+                f"{bottom[0].shape[1]}"
+            )
+
+    def reshape(self, bottom: list[Blob], top: list[Blob]) -> None:
+        top[0].reshape((1,))
+
+    def forward_impl(self, bottom: list[Blob], top: list[Blob]) -> None:
+        logits = bottom[0].data
+        labels = bottom[1].data.astype(np.int64)
+        if self.top_k == 1:
+            hits = logits.argmax(axis=1) == labels
+        else:
+            topk = np.argpartition(-logits, self.top_k - 1, axis=1)[:, : self.top_k]
+            hits = (topk == labels[:, None]).any(axis=1)
+        top[0].data = np.array([hits.mean()], dtype=np.float32)
+
+    def backward_impl(self, top: list[Blob], bottom: list[Blob]) -> None:
+        # Accuracy produces no gradient.
+        return

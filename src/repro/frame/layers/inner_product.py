@@ -1,0 +1,106 @@
+"""Inner-product (fully connected) layer: GEMM on the CPE mesh (Sec. IV-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frame.blob import Blob
+from repro.frame.layer import Layer
+from repro.hw.spec import SW26010Params
+from repro.kernels.gemm import SWGemmPlan
+from repro.kernels.plan import PlanCost, combine_sequential
+from repro.utils.rng import seeded_rng
+
+
+class InnerProductLayer(Layer):
+    """y = x W^T + b over flattened inputs: (B, D) -> (B, M)."""
+
+    type = "InnerProduct"
+
+    def __init__(
+        self,
+        name: str,
+        num_output: int,
+        bias: bool = True,
+        weight_filler: str = "xavier",
+        rng: np.random.Generator | None = None,
+        params: SW26010Params | None = None,
+    ) -> None:
+        super().__init__(name, params)
+        if num_output <= 0:
+            raise ShapeError(f"{name}: num_output must be positive")
+        self.num_output = int(num_output)
+        self.use_bias = bool(bias)
+        self.weight_filler = weight_filler
+        self._rng = rng or seeded_rng()
+        self.weight: Blob | None = None
+        self.bias: Blob | None = None
+        self._x_cache: np.ndarray | None = None
+
+    def check_bottom(self, bottom: list[Blob]) -> None:
+        self.require_bottoms(bottom, 1, self.type)
+
+    def _flat_dim(self, shape: tuple[int, ...]) -> int:
+        d = 1
+        for s in shape[1:]:
+            d *= s
+        return d
+
+    def reshape(self, bottom: list[Blob], top: list[Blob]) -> None:
+        b = bottom[0].shape[0]
+        d = self._flat_dim(bottom[0].shape)
+        if self.weight is None:
+            if self.weight_filler == "xavier":
+                std = float(np.sqrt(1.0 / d))
+            elif self.weight_filler == "msra":
+                std = float(np.sqrt(2.0 / d))
+            else:
+                raise ValueError(f"unknown weight filler {self.weight_filler!r}")
+            w = std * self._rng.standard_normal(size=(self.num_output, d), dtype=np.float32)
+            self.weight = self.add_param("weight", w)
+            if self.use_bias:
+                self.bias = self.add_param(
+                    "bias", np.zeros(self.num_output, dtype=np.float32),
+                    lr_mult=2.0, decay_mult=0.0,
+                )
+        elif self.weight.shape != (self.num_output, d):
+            raise ShapeError(
+                f"{self.name}: input dim changed ({self.weight.shape[1]} -> {d})"
+            )
+        top[0].reshape((b, self.num_output))
+        self._bottom_shape = bottom[0].shape
+
+    def forward_impl(self, bottom: list[Blob], top: list[Blob]) -> None:
+        x = bottom[0].data.reshape(bottom[0].shape[0], -1)
+        self._x_cache = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y += self.bias.data
+        top[0].data = y
+
+    def backward_impl(self, top: list[Blob], bottom: list[Blob]) -> None:
+        x = self._x_cache if self._x_cache is not None else bottom[0].data.reshape(
+            bottom[0].shape[0], -1
+        )
+        dy = top[0].diff
+        self.weight.diff = self.weight.diff + dy.T @ x
+        if self.bias is not None:
+            self.bias.diff = self.bias.diff + dy.sum(axis=0)
+        if self.propagate_down:
+            dx = (dy @ self.weight.data).reshape(bottom[0].shape)
+            bottom[0].diff = bottom[0].diff + dx
+
+    # ------------------------------------------------------------------ #
+    def sw_forward_cost(self) -> PlanCost:
+        b = self.cg_batch(self._bottom_shape[0])
+        d = self._flat_dim(self._bottom_shape)
+        return SWGemmPlan(self.num_output, b, d, params=self.hw).cost()
+
+    def sw_backward_cost(self) -> PlanCost:
+        b = self.cg_batch(self._bottom_shape[0])
+        d = self._flat_dim(self._bottom_shape)
+        costs = [SWGemmPlan(self.num_output, d, b, params=self.hw).cost()]  # dW
+        if self.propagate_down:
+            costs.append(SWGemmPlan(b, d, self.num_output, params=self.hw).cost())  # dX
+        return combine_sequential(costs)

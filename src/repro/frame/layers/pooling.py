@@ -1,0 +1,82 @@
+"""Pooling layer wrapping the DMA-strategy pooling plan (Sec. IV-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frame.blob import Blob
+from repro.frame.layer import Layer
+from repro.kernels.plan import PlanCost
+from repro.kernels.pooling import PoolingPlan
+
+
+class PoolingLayer(Layer):
+    """Max/average pooling over (B, C, H, W)."""
+
+    type = "Pooling"
+
+    def __init__(
+        self,
+        name: str,
+        kernel_size: int,
+        stride: int | None = None,
+        pad: int = 0,
+        mode: str = "max",
+        global_pooling: bool = False,
+        params=None,
+    ) -> None:
+        super().__init__(name, params)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.pad = int(pad)
+        self.mode = mode
+        self.global_pooling = bool(global_pooling)
+        self._plan: PoolingPlan | None = None
+        self._x_cache: np.ndarray | None = None
+        self._argmax: np.ndarray | None = None
+
+    def check_bottom(self, bottom: list[Blob]) -> None:
+        self.require_bottoms(bottom, 1, self.type)
+        if len(bottom[0].shape) != 4:
+            raise ShapeError(f"{self.name}: pooling input must be 4D")
+
+    def reshape(self, bottom: list[Blob], top: list[Blob]) -> None:
+        b, c, h, w = bottom[0].shape
+        if self.global_pooling:
+            self.kernel_size = h
+            self.stride = 1
+            self.pad = 0
+            if h != w:
+                raise ShapeError(f"{self.name}: global pooling needs square input")
+        self._plan = PoolingPlan(
+            b, c, h, w, self.kernel_size, self.stride, self.pad, self.mode,
+            params=self.hw,
+        )
+        top[0].reshape((b, c, self._plan.out_h, self._plan.out_w))
+
+    def forward_impl(self, bottom: list[Blob], top: list[Blob]) -> None:
+        self._x_cache = bottom[0].data
+        out, arg = self._plan.forward(bottom[0].data)
+        self._argmax = arg
+        top[0].data = out.astype(bottom[0].dtype, copy=False)
+
+    def backward_impl(self, top: list[Blob], bottom: list[Blob]) -> None:
+        if not self.propagate_down:
+            return
+        dx = self._plan.backward(self._x_cache, top[0].diff, self._argmax)
+        bottom[0].diff = bottom[0].diff + dx
+
+    def _cg_plan(self) -> PoolingPlan:
+        p = self._plan
+        return PoolingPlan(
+            self.cg_batch(p.batch), p.channels, p.height, p.width,
+            p.k, p.stride, p.pad, p.mode, params=self.hw,
+        )
+
+    def sw_forward_cost(self) -> PlanCost:
+        return self._cg_plan().cost()
+
+    def sw_backward_cost(self) -> PlanCost:
+        # Backward moves the same traffic in reverse.
+        return self._cg_plan().cost() if self.propagate_down else PlanCost()

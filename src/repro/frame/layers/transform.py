@@ -1,0 +1,71 @@
+"""Tensor transformation layer (Sec. IV-C).
+
+swCaffe inserts these at the boundary of implicit-GEMM convolution chains
+to transpose between the default (B, N, R, C) layout and the implicit
+(R, C, N, B) layout. Functionally the layer is a pure transposition (its
+backward is the inverse transposition of the gradient); its cost is the
+strided-DMA + SIMD-shuffle plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frame.blob import Blob
+from repro.frame.layer import Layer
+from repro.kernels.plan import PlanCost
+from repro.kernels.transform import TensorTransformPlan
+
+
+class TensorTransformLayer(Layer):
+    """Layout transposition between explicit and implicit data layouts."""
+
+    type = "TensorTransform"
+
+    def __init__(self, name: str, to_implicit: bool = True, params=None) -> None:
+        super().__init__(name, params)
+        self.to_implicit = bool(to_implicit)
+        self._plan: TensorTransformPlan | None = None
+
+    def check_bottom(self, bottom: list[Blob]) -> None:
+        self.require_bottoms(bottom, 1, self.type)
+        if len(bottom[0].shape) != 4:
+            raise ShapeError(f"{self.name}: transform input must be 4D")
+
+    def reshape(self, bottom: list[Blob], top: list[Blob]) -> None:
+        shape = bottom[0].shape
+        if self.to_implicit:
+            # (B, N, R, C) -> (R, C, N, B)
+            explicit_shape = shape
+            out_shape = (shape[2], shape[3], shape[1], shape[0])
+        else:
+            # (R, C, N, B) -> (B, N, R, C)
+            explicit_shape = (shape[3], shape[2], shape[0], shape[1])
+            out_shape = explicit_shape
+        self._plan = TensorTransformPlan(
+            explicit_shape, to_implicit=self.to_implicit, params=self.hw
+        )
+        top[0].reshape(out_shape)
+
+    def forward_impl(self, bottom: list[Blob], top: list[Blob]) -> None:
+        top[0].data = self._plan.run(bottom[0].data)
+
+    def backward_impl(self, top: list[Blob], bottom: list[Blob]) -> None:
+        if not self.propagate_down:
+            return
+        inverse = TensorTransformPlan(
+            self._plan.shape, to_implicit=not self.to_implicit, params=self.hw
+        )
+        bottom[0].diff = bottom[0].diff + inverse.run(top[0].diff)
+
+    def sw_forward_cost(self) -> PlanCost:
+        # Per-CG share: the batch axis is split across core groups.
+        b, n, r, c = self._plan.shape
+        per_cg = TensorTransformPlan(
+            (self.cg_batch(b), n, r, c), self.to_implicit, params=self.hw
+        )
+        return per_cg.cost()
+
+    def sw_backward_cost(self) -> PlanCost:
+        return self.sw_forward_cost() if self.propagate_down else PlanCost()

@@ -1,0 +1,19 @@
+"""Model zoo: the networks evaluated in the paper.
+
+AlexNet (with the paper's BN refinement), VGG-16, VGG-19, ResNet-50 and
+GoogLeNet — plus LeNet as a small, fast net for tests and examples. Each
+module exposes ``build(batch_size, ...) -> Net``.
+"""
+
+from repro.frame.model_zoo import alexnet, googlenet, lenet, resnet, vgg
+
+#: Table III configurations: (builder, batch size used in the paper).
+PAPER_NETWORKS = {
+    "AlexNet": (alexnet.build, 256),
+    "VGG-16": (vgg.build_vgg16, 64),
+    "VGG-19": (vgg.build_vgg19, 64),
+    "ResNet-50": (resnet.build_resnet50, 32),
+    "GoogleNet": (googlenet.build, 128),
+}
+
+__all__ = ["alexnet", "googlenet", "lenet", "resnet", "vgg", "PAPER_NETWORKS"]

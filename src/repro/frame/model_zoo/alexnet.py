@@ -1,0 +1,69 @@
+"""AlexNet, in the paper's refined form (LRN replaced by BatchNorm).
+
+"We adopt some refinements to AlexNet without affecting the accuracy by
+changing the local response normalization (LRN) to batch normalization
+(BN)" — the Fig. 8 layer sequence (conv/bn/relu/pool blocks, then
+fc6/fc7/fc8 with dropout). ``variant="lrn"`` builds the original LRN form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frame.layers import LRNLayer
+from repro.frame.model_zoo.common import NetBuilder
+from repro.frame.net import Net
+
+
+def build(
+    batch_size: int = 256,
+    num_classes: int = 1000,
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = False,
+    variant: str = "bn",
+) -> Net:
+    """AlexNet over 227x227 RGB inputs."""
+    if variant not in ("bn", "lrn"):
+        raise ShapeError(f"unknown AlexNet variant {variant!r}")
+    b = NetBuilder("alexnet", batch_size, num_classes, (3, 227, 227), source, rng)
+
+    def norm(name: str) -> None:
+        if variant == "bn":
+            b.bn(f"{name}/bn")
+        else:
+            b.net.add(LRNLayer(f"{name}/lrn"), bottoms=[b.cur], tops=[f"{name}/lrn"])
+            b.cur = f"{name}/lrn"
+
+    # The original (LRN) AlexNet splits conv2/4/5 into two groups, a relic
+    # of the dual-GPU training; the BN refinement runs ungrouped.
+    g = 2 if variant == "lrn" else 1
+    b.conv("conv1", 96, 11, stride=4)
+    norm("conv1")
+    b.relu("relu1")
+    b.pool("pool1", 3, 2)
+    b.conv("conv2", 256, 5, pad=2, groups=g)
+    norm("conv2")
+    b.relu("relu2")
+    b.pool("pool2", 3, 2)
+    b.conv("conv3", 384, 3, pad=1)
+    if variant == "bn":
+        b.bn("conv3/bn")
+    b.relu("relu3")
+    b.conv("conv4", 384, 3, pad=1, groups=g)
+    if variant == "bn":
+        b.bn("conv4/bn")
+    b.relu("relu4")
+    b.conv("conv5", 256, 3, pad=1, groups=g)
+    if variant == "bn":
+        b.bn("conv5/bn")
+    b.relu("relu5")
+    b.pool("pool5", 3, 2)
+    b.fc("fc6", 4096)
+    b.relu("relu6")
+    b.dropout("drop6")
+    b.fc("fc7", 4096)
+    b.relu("relu7")
+    b.dropout("drop7")
+    return b.head("fc8", include_accuracy=include_accuracy)

@@ -1,0 +1,106 @@
+"""GoogLeNet (Inception v1, Szegedy et al.).
+
+The main branch matches the paper's throughput workload; the two auxiliary
+classifiers (after inception 4a and 4d, loss weight 0.3) are available via
+``aux_heads=True`` for training-faithful runs — Caffe disables them at
+deploy time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.layers import ConcatLayer, SoftmaxWithLossLayer
+from repro.frame.model_zoo.common import NetBuilder
+from repro.frame.net import Net
+
+#: Inception module channel configs:
+#: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj)
+INCEPTIONS = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: NetBuilder, name: str, cfg: tuple[int, ...]) -> None:
+    c1, r3, c3, r5, c5, pp = cfg
+    bottom = b.cur
+    b.conv(f"{name}/1x1", c1, 1, bottom=bottom)
+    b.relu(f"{name}/relu_1x1")
+    branch1 = b.cur
+    b.conv(f"{name}/3x3_reduce", r3, 1, bottom=bottom)
+    b.relu(f"{name}/relu_3x3_reduce")
+    b.conv(f"{name}/3x3", c3, 3, pad=1)
+    b.relu(f"{name}/relu_3x3")
+    branch2 = b.cur
+    b.conv(f"{name}/5x5_reduce", r5, 1, bottom=bottom)
+    b.relu(f"{name}/relu_5x5_reduce")
+    b.conv(f"{name}/5x5", c5, 5, pad=2)
+    b.relu(f"{name}/relu_5x5")
+    branch3 = b.cur
+    b.pool(f"{name}/pool", 3, 1, pad=1, bottom=bottom)
+    b.conv(f"{name}/pool_proj", pp, 1)
+    b.relu(f"{name}/relu_pool_proj")
+    branch4 = b.cur
+    b.net.add(
+        ConcatLayer(f"{name}/output"),
+        bottoms=[branch1, branch2, branch3, branch4],
+        tops=[f"{name}/output"],
+    )
+    b.cur = f"{name}/output"
+
+
+def _aux_head(b: NetBuilder, name: str, num_classes: int, bottom: str) -> None:
+    """One auxiliary classifier: pool5/3 -> 1x1 conv -> fc -> loss*0.3."""
+    b.pool(f"{name}/ave_pool", 5, 3, mode="avg", bottom=bottom)
+    b.conv(f"{name}/conv", 128, 1)
+    b.relu(f"{name}/relu_conv")
+    b.fc(f"{name}/fc", 1024)
+    b.relu(f"{name}/relu_fc")
+    b.dropout(f"{name}/drop", 0.7)
+    logits = b.fc(f"{name}/classifier", num_classes)
+    loss = SoftmaxWithLossLayer(f"{name}/loss")
+    loss.loss_weight = 0.3
+    b.net.add(loss, bottoms=[logits, "label"], tops=[f"{name}/loss"])
+    b.cur = bottom  # resume the main branch
+
+
+def build(
+    batch_size: int = 128,
+    num_classes: int = 1000,
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = False,
+    aux_heads: bool = False,
+) -> Net:
+    """GoogLeNet over 224x224 inputs (main branch; aux heads optional)."""
+    b = NetBuilder("googlenet", batch_size, num_classes, (3, 224, 224), source, rng)
+    b.conv("conv1/7x7_s2", 64, 7, stride=2, pad=3)
+    b.relu("conv1/relu_7x7")
+    b.pool("pool1/3x3_s2", 3, 2, pad=1)
+    b.conv("conv2/3x3_reduce", 64, 1)
+    b.relu("conv2/relu_3x3_reduce")
+    b.conv("conv2/3x3", 192, 3, pad=1)
+    b.relu("conv2/relu_3x3")
+    b.pool("pool2/3x3_s2", 3, 2, pad=1)
+    _inception(b, "inception_3a", INCEPTIONS["3a"])
+    _inception(b, "inception_3b", INCEPTIONS["3b"])
+    b.pool("pool3/3x3_s2", 3, 2, pad=1)
+    for key in ("4a", "4b", "4c", "4d", "4e"):
+        _inception(b, f"inception_{key}", INCEPTIONS[key])
+        if aux_heads and key in ("4a", "4d"):
+            _aux_head(b, f"loss{1 if key == '4a' else 2}", num_classes, b.cur)
+    b.pool("pool4/3x3_s2", 3, 2, pad=1)
+    _inception(b, "inception_5a", INCEPTIONS["5a"])
+    _inception(b, "inception_5b", INCEPTIONS["5b"])
+    b.pool("pool5/global", 1, 1, mode="avg", global_pooling=True)
+    b.dropout("pool5/drop", 0.4)
+    logits = b.fc("loss3/classifier", num_classes)
+    return b.loss_from(logits, include_accuracy=include_accuracy)

@@ -1,0 +1,31 @@
+"""LeNet-style small CNN — the fast net used by tests and the quickstart.
+
+Input defaults to (1, 28, 28) with 10 classes; tiny enough that a full
+functional training run converges in seconds on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.model_zoo.common import NetBuilder
+from repro.frame.net import Net
+
+
+def build(
+    batch_size: int = 16,
+    num_classes: int = 10,
+    sample_shape: tuple[int, ...] = (1, 28, 28),
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = True,
+) -> Net:
+    """LeNet: conv(20,5) pool conv(50,5) pool fc(500) relu fc(classes)."""
+    b = NetBuilder("lenet", batch_size, num_classes, sample_shape, source, rng)
+    b.conv("conv1", 20, 5)
+    b.pool("pool1", 2, 2)
+    b.conv("conv2", 50, 5)
+    b.pool("pool2", 2, 2)
+    b.fc("ip1", 500)
+    b.relu("relu1")
+    return b.head("ip2", include_accuracy=include_accuracy)

@@ -1,0 +1,70 @@
+"""ResNet-50 (He et al.) with bottleneck residual blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.layers import EltwiseLayer
+from repro.frame.model_zoo.common import NetBuilder
+from repro.frame.net import Net
+
+#: Bottleneck blocks per stage and their (inner, output) channel widths.
+RESNET50_STAGES = (
+    ("res2", 3, 64, 256, 1),
+    ("res3", 4, 128, 512, 2),
+    ("res4", 6, 256, 1024, 2),
+    ("res5", 3, 512, 2048, 2),
+)
+
+
+def _bottleneck(
+    b: NetBuilder, name: str, inner: int, out: int, stride: int, project: bool
+) -> None:
+    """One bottleneck unit: 1x1 -> 3x3 -> 1x1 with a skip connection."""
+    identity = b.cur
+    b.conv(f"{name}/conv1", inner, 1, stride=stride, bias=False)
+    b.bn(f"{name}/bn1")
+    b.relu(f"{name}/relu1")
+    b.conv(f"{name}/conv2", inner, 3, pad=1, bias=False)
+    b.bn(f"{name}/bn2")
+    b.relu(f"{name}/relu2")
+    b.conv(f"{name}/conv3", out, 1, bias=False)
+    b.bn(f"{name}/bn3")
+    main = b.cur
+    if project:
+        b.conv(f"{name}/proj", out, 1, stride=stride, bias=False, bottom=identity)
+        b.bn(f"{name}/proj_bn")
+        identity = b.cur
+    b.net.add(
+        EltwiseLayer(f"{name}/add"), bottoms=[main, identity], tops=[f"{name}/add"]
+    )
+    b.cur = f"{name}/add"
+    b.relu(f"{name}/relu")
+
+
+def build_resnet50(
+    batch_size: int = 32,
+    num_classes: int = 1000,
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = False,
+) -> Net:
+    """ResNet-50: stem + stages of [3, 4, 6, 3] bottleneck blocks."""
+    b = NetBuilder("resnet50", batch_size, num_classes, (3, 224, 224), source, rng)
+    b.conv("conv1", 64, 7, stride=2, pad=3, bias=False)
+    b.bn("conv1/bn")
+    b.relu("conv1/relu")
+    b.pool("pool1", 3, 2, pad=1)
+    for stage_name, n_blocks, inner, out, first_stride in RESNET50_STAGES:
+        for i in range(n_blocks):
+            _bottleneck(
+                b,
+                f"{stage_name}{chr(ord('a') + i)}",
+                inner,
+                out,
+                stride=first_stride if i == 0 else 1,
+                project=(i == 0),
+            )
+    b.pool("pool5", 1, 1, mode="avg", global_pooling=True)
+    logits = b.fc("fc1000", num_classes)
+    return b.loss_from(logits, include_accuracy=include_accuracy)

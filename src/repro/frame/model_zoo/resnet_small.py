@@ -1,0 +1,96 @@
+"""ResNet-18 and ResNet-34: basic-block variants.
+
+Not evaluated in the paper, but standard companions to ResNet-50 and a
+useful smaller workload for the simulator (and they exercise the
+basic-block topology: two 3x3 convolutions per residual unit instead of
+the bottleneck's 1x1/3x3/1x1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.layers import EltwiseLayer
+from repro.frame.model_zoo.common import NetBuilder
+from repro.frame.net import Net
+
+#: Basic blocks per stage, by depth.
+STAGES = {
+    18: (2, 2, 2, 2),
+    34: (3, 4, 6, 3),
+}
+STAGE_WIDTHS = (64, 128, 256, 512)
+
+
+def _basic_block(b: NetBuilder, name: str, width: int, stride: int, project: bool) -> None:
+    """Two 3x3 convolutions with a skip connection."""
+    identity = b.cur
+    b.conv(f"{name}/conv1", width, 3, stride=stride, pad=1, bias=False)
+    b.bn(f"{name}/bn1")
+    b.relu(f"{name}/relu1")
+    b.conv(f"{name}/conv2", width, 3, pad=1, bias=False)
+    b.bn(f"{name}/bn2")
+    main = b.cur
+    if project:
+        b.conv(f"{name}/proj", width, 1, stride=stride, bias=False, bottom=identity)
+        b.bn(f"{name}/proj_bn")
+        identity = b.cur
+    b.net.add(
+        EltwiseLayer(f"{name}/add"), bottoms=[main, identity], tops=[f"{name}/add"]
+    )
+    b.cur = f"{name}/add"
+    b.relu(f"{name}/relu")
+
+
+def _build(
+    depth: int,
+    batch_size: int,
+    num_classes: int,
+    source,
+    rng: np.random.Generator | None,
+    include_accuracy: bool,
+) -> Net:
+    if depth not in STAGES:
+        raise ValueError(f"unsupported depth {depth}; choose from {sorted(STAGES)}")
+    b = NetBuilder(f"resnet{depth}", batch_size, num_classes, (3, 224, 224), source, rng)
+    b.conv("conv1", 64, 7, stride=2, pad=3, bias=False)
+    b.bn("conv1/bn")
+    b.relu("conv1/relu")
+    b.pool("pool1", 3, 2, pad=1)
+    for stage, (n_blocks, width) in enumerate(zip(STAGES[depth], STAGE_WIDTHS), start=2):
+        for i in range(n_blocks):
+            first = i == 0
+            _basic_block(
+                b,
+                f"res{stage}{chr(ord('a') + i)}",
+                width,
+                stride=2 if (first and stage > 2) else 1,
+                # Stage 2's first block keeps 64 channels (matches pool1),
+                # so no projection is needed there.
+                project=(first and stage > 2),
+            )
+    b.pool("pool5", 1, 1, mode="avg", global_pooling=True)
+    logits = b.fc(f"fc{num_classes}", num_classes)
+    return b.loss_from(logits, include_accuracy=include_accuracy)
+
+
+def build_resnet18(
+    batch_size: int = 32,
+    num_classes: int = 1000,
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = False,
+) -> Net:
+    """ResNet-18 (basic blocks, [2, 2, 2, 2])."""
+    return _build(18, batch_size, num_classes, source, rng, include_accuracy)
+
+
+def build_resnet34(
+    batch_size: int = 32,
+    num_classes: int = 1000,
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = False,
+) -> Net:
+    """ResNet-34 (basic blocks, [3, 4, 6, 3])."""
+    return _build(34, batch_size, num_classes, source, rng, include_accuracy)

@@ -1,0 +1,59 @@
+"""VGG-16 and VGG-19 (Simonyan & Zisserman)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.model_zoo.common import NetBuilder
+from repro.frame.net import Net
+
+#: Convolutions per stage (stages are separated by 2x2 max pooling).
+VGG16_STAGES = (2, 2, 3, 3, 3)
+VGG19_STAGES = (2, 2, 4, 4, 4)
+STAGE_CHANNELS = (64, 128, 256, 512, 512)
+
+
+def _build(
+    name: str,
+    stages: tuple[int, ...],
+    batch_size: int,
+    num_classes: int,
+    source,
+    rng: np.random.Generator | None,
+    include_accuracy: bool,
+) -> Net:
+    b = NetBuilder(name, batch_size, num_classes, (3, 224, 224), source, rng)
+    for stage, (n_convs, channels) in enumerate(zip(stages, STAGE_CHANNELS), start=1):
+        for i in range(1, n_convs + 1):
+            b.conv(f"conv{stage}_{i}", channels, 3, pad=1)
+            b.relu(f"relu{stage}_{i}")
+        b.pool(f"pool{stage}", 2, 2)
+    b.fc("fc6", 4096)
+    b.relu("relu6")
+    b.dropout("drop6")
+    b.fc("fc7", 4096)
+    b.relu("relu7")
+    b.dropout("drop7")
+    return b.head("fc8", include_accuracy=include_accuracy)
+
+
+def build_vgg16(
+    batch_size: int = 64,
+    num_classes: int = 1000,
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = False,
+) -> Net:
+    """VGG-16: 13 convolutional + 3 fully connected layers."""
+    return _build("vgg16", VGG16_STAGES, batch_size, num_classes, source, rng, include_accuracy)
+
+
+def build_vgg19(
+    batch_size: int = 64,
+    num_classes: int = 1000,
+    source=None,
+    rng: np.random.Generator | None = None,
+    include_accuracy: bool = False,
+) -> Net:
+    """VGG-19: 16 convolutional + 3 fully connected layers."""
+    return _build("vgg19", VGG19_STAGES, batch_size, num_classes, source, rng, include_accuracy)

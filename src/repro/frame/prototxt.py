@@ -1,0 +1,331 @@
+"""Caffe prototxt compatibility (the paper: swCaffe keeps "the same
+interfaces as Caffe").
+
+Implements the subset of protobuf text format Caffe model definitions use —
+``key: value`` scalars, ``block { ... }`` messages, repeated keys — plus
+the mapping from Caffe's ``layer { ... }`` schema (``convolution_param``,
+``pooling_param``, ...) onto this package's net spec, so genuine Caffe
+``.prototxt`` files build and train directly::
+
+    net = net_from_prototxt(open("lenet.prototxt").read(), source=data)
+
+Solver definitions (``solver.prototxt``) are supported too; see
+:func:`solver_from_prototxt`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frame.net import Net
+from repro.frame.netspec import build_from_spec
+from repro.frame.solver import SGDSolver
+from repro.frame.solvers_ext import (
+    AdaGradSolver,
+    AdamSolver,
+    NesterovSolver,
+    RMSPropSolver,
+)
+
+
+class PrototxtError(ReproError):
+    """Raised for malformed prototxt input or unsupported constructs."""
+
+
+# --------------------------------------------------------------------- #
+# text-format parser
+# --------------------------------------------------------------------- #
+_TOKEN = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<brace>[{}])
+  | (?P<colon>:)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<value>[^\s:{}\#"]+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    for m in _TOKEN.finditer(text):
+        kind = m.lastgroup
+        if kind == "comment":
+            continue
+        tokens.append(m.group())
+    return tokens
+
+
+def _coerce(raw: str) -> Any:
+    if raw.startswith('"'):
+        return raw[1:-1].encode().decode("unicode_escape")
+    low = raw.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw  # enum identifier (e.g. MAX, AVE)
+
+
+def parse_prototxt(text: str) -> dict[str, Any]:
+    """Parse protobuf text format into nested dicts.
+
+    Repeated keys become lists (in order of appearance).
+    """
+    tokens = _tokenize(text)
+    pos = 0
+
+    def parse_message(depth: int) -> dict[str, Any]:
+        nonlocal pos
+        msg: dict[str, Any] = {}
+        while pos < len(tokens):
+            tok = tokens[pos]
+            if tok == "}":
+                if depth == 0:
+                    raise PrototxtError("unbalanced '}'")
+                pos += 1
+                return msg
+            key = tok
+            if key in ("{", ":"):
+                raise PrototxtError(f"unexpected token {key!r}")
+            pos += 1
+            if pos >= len(tokens):
+                raise PrototxtError(f"dangling key {key!r}")
+            if tokens[pos] == ":":
+                pos += 1
+                if pos >= len(tokens):
+                    raise PrototxtError(f"key {key!r} has no value")
+                if tokens[pos] == "{":
+                    pos += 1
+                    value: Any = parse_message(depth + 1)
+                else:
+                    value = _coerce(tokens[pos])
+                    pos += 1
+            elif tokens[pos] == "{":
+                pos += 1
+                value = parse_message(depth + 1)
+            else:
+                raise PrototxtError(f"expected ':' or '{{' after {key!r}")
+            if key in msg:
+                if not isinstance(msg[key], list):
+                    msg[key] = [msg[key]]
+                msg[key].append(value)
+            else:
+                msg[key] = value
+        if depth != 0:
+            raise PrototxtError("unbalanced '{'")
+        return msg
+
+    return parse_message(0)
+
+
+def _as_list(value: Any) -> list:
+    if value is None:
+        return []
+    return value if isinstance(value, list) else [value]
+
+
+# --------------------------------------------------------------------- #
+# layer schema mapping
+# --------------------------------------------------------------------- #
+def _conv_params(p: dict) -> dict:
+    out = {
+        "num_output": p["num_output"],
+        "kernel_size": p.get("kernel_size", p.get("kernel_h", 3)),
+        "stride": p.get("stride", 1),
+        "pad": p.get("pad", 0),
+        "groups": p.get("group", 1),
+        "bias": p.get("bias_term", True),
+    }
+    filler = p.get("weight_filler", {})
+    if isinstance(filler, dict) and filler.get("type") in ("msra", "xavier"):
+        out["weight_filler"] = filler["type"]
+    return out
+
+
+def _pool_params(p: dict) -> dict:
+    mode = str(p.get("pool", "MAX")).upper()
+    return {
+        "kernel_size": p.get("kernel_size", 2),
+        "stride": p.get("stride"),
+        "pad": p.get("pad", 0),
+        "mode": {"MAX": "max", "AVE": "avg"}.get(mode, "max"),
+        "global_pooling": p.get("global_pooling", False),
+    }
+
+
+#: Caffe layer type -> (spec type, param-block key, param mapper).
+_LAYER_MAP: dict[str, tuple[str, str | None, Any]] = {
+    "Convolution": ("Convolution", "convolution_param", _conv_params),
+    "InnerProduct": (
+        "InnerProduct",
+        "inner_product_param",
+        lambda p: {
+            "num_output": p["num_output"],
+            "bias": p.get("bias_term", True),
+        },
+    ),
+    "Pooling": ("Pooling", "pooling_param", _pool_params),
+    "ReLU": (
+        "ReLU",
+        "relu_param",
+        lambda p: {"negative_slope": p.get("negative_slope", 0.0)},
+    ),
+    "Sigmoid": ("Sigmoid", None, None),
+    "TanH": ("TanH", None, None),
+    "ELU": ("ELU", "elu_param", lambda p: {"alpha": p.get("alpha", 1.0)}),
+    "BatchNorm": (
+        "BatchNorm",
+        "batch_norm_param",
+        lambda p: {"eps": p.get("eps", 1e-5)},
+    ),
+    "LRN": (
+        "LRN",
+        "lrn_param",
+        lambda p: {
+            "local_size": p.get("local_size", 5),
+            "alpha": p.get("alpha", 1e-4),
+            "beta": p.get("beta", 0.75),
+            "k": p.get("k", 1.0),
+        },
+    ),
+    "Dropout": (
+        "Dropout",
+        "dropout_param",
+        lambda p: {"ratio": p.get("dropout_ratio", 0.5)},
+    ),
+    "Softmax": ("Softmax", None, None),
+    "SoftmaxWithLoss": ("SoftmaxWithLoss", None, None),
+    "Accuracy": (
+        "Accuracy",
+        "accuracy_param",
+        lambda p: {"top_k": p.get("top_k", 1)},
+    ),
+    "Concat": ("Concat", "concat_param", lambda p: {"axis": p.get("axis", 1)}),
+    "Eltwise": (
+        "Eltwise",
+        "eltwise_param",
+        lambda p: {
+            "operation": {"SUM": "sum", "PROD": "prod", "MAX": "max"}.get(
+                str(p.get("operation", "SUM")).upper(), "sum"
+            )
+        },
+    ),
+    "Data": ("Data", "data_param", lambda p: {"batch_size": p["batch_size"]}),
+    "Flatten": ("Flatten", None, None),
+    "Scale": (
+        "Scale",
+        "scale_param",
+        lambda p: {"bias": p.get("bias_term", True)},
+    ),
+    "EuclideanLoss": ("EuclideanLoss", None, None),
+    "Slice": (
+        "Slice",
+        "slice_param",
+        lambda p: {
+            "slice_points": [int(s) for s in _as_list(p.get("slice_point", []))],
+            "axis": p.get("axis", 1),
+        },
+    ),
+    "Split": ("Split", None, None),
+}
+
+
+def prototxt_to_spec(text: str) -> dict[str, Any]:
+    """Convert a Caffe net prototxt into this package's net spec."""
+    msg = parse_prototxt(text)
+    layers = _as_list(msg.get("layer"))
+    if not layers:
+        raise PrototxtError("prototxt defines no layers")
+    spec_layers = []
+    for entry in layers:
+        ltype = entry.get("type")
+        name = entry.get("name")
+        if not ltype or not name:
+            raise PrototxtError(f"layer missing name/type: {entry}")
+        if ltype not in _LAYER_MAP:
+            raise PrototxtError(f"unsupported Caffe layer type {ltype!r}")
+        spec_type, param_key, mapper = _LAYER_MAP[ltype]
+        params = {}
+        if mapper is not None:
+            raw = entry.get(param_key, {}) if param_key else {}
+            if isinstance(raw, list):
+                raw = raw[0]
+            params = mapper(raw)
+        bottoms = [str(b) for b in _as_list(entry.get("bottom"))]
+        tops = [str(t) for t in _as_list(entry.get("top"))] or [name]
+        if bottoms and bottoms == tops:
+            raise PrototxtError(
+                f"layer {name!r} is in-place (bottom == top); in-place layers "
+                "are not supported — give the top a distinct name"
+            )
+        if spec_type == "Split":
+            params["n_tops"] = len(tops)
+        spec_entry = {
+            "type": spec_type,
+            "name": str(name),
+            "bottoms": bottoms,
+            "tops": tops,
+            "params": params,
+        }
+        if "loss_weight" in entry:
+            weights = _as_list(entry["loss_weight"])
+            spec_entry["loss_weight"] = float(weights[0])
+        spec_layers.append(spec_entry)
+    return {"name": str(msg.get("name", "net")), "layers": spec_layers}
+
+
+def net_from_prototxt(
+    text: str, source=None, rng: np.random.Generator | None = None
+) -> Net:
+    """Build a runnable :class:`Net` directly from Caffe prototxt text."""
+    return build_from_spec(prototxt_to_spec(text), source=source, rng=rng)
+
+
+# --------------------------------------------------------------------- #
+# solver prototxt
+# --------------------------------------------------------------------- #
+_SOLVER_TYPES = {
+    "SGD": SGDSolver,
+    "NESTEROV": NesterovSolver,
+    "ADAGRAD": AdaGradSolver,
+    "RMSPROP": RMSPropSolver,
+    "ADAM": AdamSolver,
+}
+
+
+def solver_from_prototxt(text: str, net: Net) -> SGDSolver:
+    """Build a solver from Caffe ``solver.prototxt`` text."""
+    msg = parse_prototxt(text)
+    type_name = str(msg.get("type", "SGD")).upper()
+    if type_name not in _SOLVER_TYPES:
+        raise PrototxtError(f"unsupported solver type {type_name!r}")
+    cls = _SOLVER_TYPES[type_name]
+    kwargs: dict[str, Any] = {
+        "base_lr": msg.get("base_lr", 0.01),
+        "weight_decay": msg.get("weight_decay", 0.0),
+        "lr_policy": str(msg.get("lr_policy", "fixed")),
+        "gamma": msg.get("gamma", 0.1),
+        "stepsize": msg.get("stepsize", 100000),
+        "max_iter": msg.get("max_iter", 100000),
+        "power": msg.get("power", 1.0),
+    }
+    if "stepvalue" in msg:
+        kwargs["steps"] = [int(s) for s in _as_list(msg["stepvalue"])]
+    momentum = msg.get("momentum", 0.9)
+    if cls in (SGDSolver, NesterovSolver):
+        kwargs["momentum"] = momentum
+    return cls(net, **kwargs)

@@ -1,0 +1,86 @@
+"""Extension: allreduce algorithm sweep over message sizes.
+
+Complements Fig. 7: for a fixed 64-node / 4-supernode allocation, sweeps
+the gradient payload from 1 KB to 64 MB and reports each algorithm's
+simulated time — showing the latency-vs-bandwidth regimes (ring's p*alpha
+penalty, the tree's log(p)-times-n bandwidth penalty, RHD's balance) and
+the constant factor the round-robin renumbering removes at every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simmpi import (
+    SimComm,
+    binomial_allreduce,
+    block_placement,
+    rhd_allreduce,
+    ring_allreduce,
+    round_robin_placement,
+)
+from repro.topology import LinearCostModel, TaihuLightFabric
+from repro.utils.tables import Table
+
+P, Q = 64, 16
+MODEL = LinearCostModel(alpha=1e-6, beta1=1 / 10e9, beta2=4 / 10e9, gamma=3e-11)
+SIZES = tuple(1024 * 4**i for i in range(9))  # 1 KB .. 64 MB
+
+ALGOS = (
+    ("ring", ring_allreduce, "block"),
+    ("binomial", binomial_allreduce, "block"),
+    ("rhd (block)", rhd_allreduce, "block"),
+    ("rhd (round-robin)", rhd_allreduce, "round-robin"),
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    algorithm: str
+    nbytes: int
+    time_s: float
+
+
+def generate(sizes: tuple[int, ...] = SIZES) -> list[SweepPoint]:
+    """Time every algorithm at every payload size (executed, not analytic)."""
+    fabric = TaihuLightFabric(n_nodes=P, nodes_per_supernode=Q)
+    rng = np.random.default_rng(0)
+    points = []
+    for nbytes in sizes:
+        n_elems = max(P, nbytes // 8)
+        base = [rng.normal(size=n_elems) for _ in range(P)]
+        for name, algo, placement in ALGOS:
+            pl = (
+                block_placement(P, Q)
+                if placement == "block"
+                else round_robin_placement(P, Q)
+            )
+            comm = SimComm(fabric, pl, cost=MODEL)
+            bufs = [b.copy() for b in base]
+            result = algo(comm, bufs)
+            points.append(SweepPoint(name, nbytes, result.time_s))
+    return points
+
+
+def render(points: list[SweepPoint] | None = None) -> str:
+    points = points if points is not None else generate()
+    names = [a[0] for a in ALGOS]
+    sizes = sorted({p.nbytes for p in points})
+    table = Table(
+        headers=["bytes"] + names,
+        title=f"Extension: allreduce sweep, {P} nodes in {P // Q} supernodes (us)",
+    )
+    lookup = {(p.algorithm, p.nbytes): p.time_s for p in points}
+    for n in sizes:
+        table.add_row(n, *(round(lookup[(name, n)] * 1e6, 1) for name in names))
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

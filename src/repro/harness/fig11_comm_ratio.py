@@ -1,0 +1,34 @@
+"""Fig. 11: communication time fraction during scaled training.
+
+Same sweep as Fig. 10, reporting the allreduce share of each iteration.
+"""
+
+from __future__ import annotations
+
+from repro.harness.fig10_scalability import CONFIGS, generate
+from repro.parallel.scaling import PAPER_NODE_COUNTS, ScalingPoint
+from repro.utils.tables import Table
+
+
+def render(points: list[ScalingPoint] | None = None) -> str:
+    points = points if points is not None else generate()
+    labels = [c[0] for c in CONFIGS]
+    table = Table(
+        headers=["nodes"] + labels,
+        title="Fig. 11: communication time fraction (%) vs number of nodes",
+    )
+    for n in PAPER_NODE_COUNTS:
+        row = [n]
+        for label in labels:
+            (pt,) = [p for p in points if p.label == label and p.n_nodes == n]
+            row.append(round(100 * pt.comm_fraction, 2))
+        table.add_row(*row)
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

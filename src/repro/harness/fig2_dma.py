@@ -1,0 +1,79 @@
+"""Fig. 2: DMA get/put bandwidth for continuous and strided access.
+
+Left panels: bandwidth vs per-CPE transfer size (128 B - 48 KB) for 1, 8,
+16, 32, 64 CPEs, continuous access. Right panels: bandwidth vs strided
+block size (4 B - 16 KB) with each CPE moving 32 KB total.
+
+The model is direction-symmetric (the measured curves for get and put are
+near-identical in the paper), so one series set covers both panels per
+access pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.dma import DMAEngine
+from repro.utils.tables import Table
+from repro.utils.units import GB
+
+#: Per-CPE data sizes of the continuous-access sweep (bytes).
+CONTINUOUS_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 24576, 32768, 49152)
+#: Block sizes of the strided-access sweep (bytes), total 32 KB per CPE.
+STRIDED_BLOCKS = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+#: CPE counts plotted in each panel.
+CPE_COUNTS = (1, 8, 16, 32, 64)
+#: Fixed per-CPE payload of the strided sweep.
+STRIDED_TOTAL = 32 * 1024
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve: bandwidth (GB/s) per x value."""
+
+    label: str
+    x: tuple[int, ...]
+    bandwidth_gbs: tuple[float, ...]
+
+
+def generate() -> dict[str, list[Series]]:
+    """Both panels' curve families."""
+    dma = DMAEngine()
+    continuous = []
+    for cpes in CPE_COUNTS:
+        bw = tuple(
+            dma.aggregate_bandwidth(size, cpes) / GB for size in CONTINUOUS_SIZES
+        )
+        continuous.append(Series(f"{cpes}CPE", CONTINUOUS_SIZES, bw))
+    strided = []
+    for cpes in CPE_COUNTS:
+        bw = tuple(
+            dma.aggregate_bandwidth(STRIDED_TOTAL, cpes, block_bytes=block) / GB
+            for block in STRIDED_BLOCKS
+        )
+        strided.append(Series(f"{cpes}CPE", STRIDED_BLOCKS, bw))
+    return {"continuous": continuous, "strided": strided}
+
+
+def render(panels: dict[str, list[Series]] | None = None) -> str:
+    """Text rendering of both panels."""
+    panels = panels if panels is not None else generate()
+    out = []
+    for title, xlabel, key in (
+        ("Fig. 2 (left): continuous DMA, bandwidth (GB/s) vs data size", "size(B)", "continuous"),
+        ("Fig. 2 (right): strided DMA, bandwidth (GB/s) vs block size", "block(B)", "strided"),
+    ):
+        series = panels[key]
+        table = Table(headers=[xlabel] + [s.label for s in series], title=title)
+        for i, x in enumerate(series[0].x):
+            table.add_row(x, *(round(s.bandwidth_gbs[i], 2) for s in series))
+        out.append(table.render())
+    return "\n\n".join(out)
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

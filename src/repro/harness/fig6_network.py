@@ -1,0 +1,108 @@
+"""Fig. 6: MPI P2P bandwidth and latency, Sunway vs Infiniband FDR.
+
+Left panel: bandwidth vs message size (uni/bi-directional, plus the
+over-subscribed cross-supernode variants for the Sunway network). Right
+panel: end-to-end message time ("latency") vs size for both fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology import INFINIBAND_FDR, SW_NETWORK
+from repro.utils.tables import Table
+from repro.utils.units import GB, MS
+
+#: Message sizes of the bandwidth sweep (1 B - 4 MB, like the figure).
+BANDWIDTH_SIZES = tuple(4**i for i in range(12))  # 1 B .. 4 MB
+#: Message sizes of the latency sweep (up to 2 MB).
+LATENCY_SIZES = tuple(2 * 4**i for i in range(11))  # 2 B .. 2 MB
+
+
+@dataclass(frozen=True)
+class Curve:
+    label: str
+    x: tuple[int, ...]
+    y: tuple[float, ...]
+
+
+def generate() -> dict[str, list[Curve]]:
+    """Bandwidth (GB/s) and latency (ms) curve families."""
+    bw_curves = [
+        Curve(
+            "SW uni-directional",
+            BANDWIDTH_SIZES,
+            tuple(SW_NETWORK.bandwidth(n) / GB for n in BANDWIDTH_SIZES),
+        ),
+        Curve(
+            "SW bi-directional",
+            BANDWIDTH_SIZES,
+            tuple(SW_NETWORK.bandwidth(n, bidirectional=True) / GB for n in BANDWIDTH_SIZES),
+        ),
+        Curve(
+            "SW uni-dir over-subscribed",
+            BANDWIDTH_SIZES,
+            tuple(SW_NETWORK.bandwidth(n, oversubscribed=True) / GB for n in BANDWIDTH_SIZES),
+        ),
+        Curve(
+            "SW bi-dir over-subscribed",
+            BANDWIDTH_SIZES,
+            tuple(
+                SW_NETWORK.bandwidth(n, bidirectional=True, oversubscribed=True) / GB
+                for n in BANDWIDTH_SIZES
+            ),
+        ),
+        Curve(
+            "Infiniband uni-direction",
+            BANDWIDTH_SIZES,
+            tuple(INFINIBAND_FDR.bandwidth(n) / GB for n in BANDWIDTH_SIZES),
+        ),
+        Curve(
+            "Infiniband bidirection",
+            BANDWIDTH_SIZES,
+            tuple(INFINIBAND_FDR.bandwidth(n, bidirectional=True) / GB for n in BANDWIDTH_SIZES),
+        ),
+    ]
+    lat_curves = [
+        Curve(
+            "SW",
+            LATENCY_SIZES,
+            tuple(SW_NETWORK.ptp_time(n) / MS for n in LATENCY_SIZES),
+        ),
+        Curve(
+            "Infiniband",
+            LATENCY_SIZES,
+            tuple(INFINIBAND_FDR.ptp_time(n) / MS for n in LATENCY_SIZES),
+        ),
+    ]
+    return {"bandwidth": bw_curves, "latency": lat_curves}
+
+
+def render(curves: dict[str, list[Curve]] | None = None) -> str:
+    curves = curves if curves is not None else generate()
+    out = []
+    bw = curves["bandwidth"]
+    t = Table(
+        headers=["size(B)"] + [c.label for c in bw],
+        title="Fig. 6 (left): P2P bandwidth (GB/s)",
+    )
+    for i, x in enumerate(bw[0].x):
+        t.add_row(x, *(round(c.y[i], 3) for c in bw))
+    out.append(t.render())
+    lat = curves["latency"]
+    t = Table(
+        headers=["size(B)"] + [c.label for c in lat],
+        title="Fig. 6 (right): P2P latency (ms)",
+    )
+    for i, x in enumerate(lat[0].x):
+        t.add_row(x, *(round(c.y[i], 4) for c in lat))
+    out.append(t.render())
+    return "\n\n".join(out)
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

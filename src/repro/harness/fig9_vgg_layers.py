@@ -1,0 +1,27 @@
+"""Fig. 9: per-layer forward/backward time of VGG-16, GPU vs SW26010."""
+
+from __future__ import annotations
+
+from repro.frame.model_zoo import vgg
+from repro.harness.fig8_alexnet_layers import LayerComparison, generate as _generate, render as _render
+
+#: Fig. 9 uses the Table III VGG-16 batch size.
+BATCH = 64
+
+
+def generate(batch: int = BATCH) -> list[LayerComparison]:
+    """Per-layer GPU-vs-SW comparison for VGG-16."""
+    return _generate(batch=batch, builder=vgg.build_vgg16)
+
+
+def render(rows: list[LayerComparison] | None = None) -> str:
+    rows = rows if rows is not None else generate()
+    return _render(rows, title="Fig. 9: VGG-16", batch=BATCH)
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,77 @@
+"""Extension: forward-only (inference) throughput on all three devices.
+
+The paper evaluates training throughput (Table III); deployment cares
+about inference. Same engine, forward pass only — and a different winner
+profile: without backward's GEMM-heavy weight gradients, the
+bandwidth-bound layers weigh more and SW26010's standing degrades slightly
+on every network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frame.model_zoo import PAPER_NETWORKS
+from repro.perf.layer_cost import net_layer_timings
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class InferenceRow:
+    """Forward-only img/s per device for one network."""
+
+    network: str
+    batch: int
+    cpu_img_s: float
+    gpu_img_s: float
+    sw_img_s: float
+
+    @property
+    def sw_over_gpu(self) -> float:
+        return self.sw_img_s / self.gpu_img_s
+
+
+def _forward_time(net, device: str) -> float:
+    return sum(t.forward_s for t in net_layer_timings(net, device))
+
+
+def generate(networks: dict | None = None) -> list[InferenceRow]:
+    """Forward-only throughput for every configured network."""
+    networks = networks if networks is not None else PAPER_NETWORKS
+    rows = []
+    for name, (builder, batch) in networks.items():
+        net = builder(batch_size=batch)
+        net.set_phase("test")
+        rows.append(
+            InferenceRow(
+                network=name,
+                batch=batch,
+                cpu_img_s=batch / _forward_time(net, "cpu"),
+                gpu_img_s=batch / _forward_time(net, "k40m"),
+                sw_img_s=batch / _forward_time(net, "sw26010"),
+            )
+        )
+    return rows
+
+
+def render(rows: list[InferenceRow] | None = None) -> str:
+    rows = rows if rows is not None else generate()
+    table = Table(
+        headers=["network", "batch", "CPU", "NV K40m", "SW", "SW/NV"],
+        title="Extension: inference (forward-only) throughput (img/sec)",
+    )
+    for r in rows:
+        table.add_row(
+            r.network, r.batch,
+            round(r.cpu_img_s, 2), round(r.gpu_img_s, 2), round(r.sw_img_s, 2),
+            round(r.sw_over_gpu, 2),
+        )
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

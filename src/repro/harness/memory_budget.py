@@ -1,0 +1,72 @@
+"""Extension: per-network memory footprints at the paper's batch sizes.
+
+Explains Table III's batch choices: every configuration fits one core
+group's 8 GB, and the next power of two would not (for the activation-heavy
+networks). Also reports the im2col workspace the explicit conv plan needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frame.model_zoo import PAPER_NETWORKS
+from repro.hw.spec import SW_PARAMS
+from repro.perf.memory import MemoryFootprint, net_memory_footprint
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class MemoryRow:
+    """One network's footprint at its paper batch and at double batch."""
+
+    network: str
+    batch: int
+    footprint: MemoryFootprint
+    doubled_fits: bool
+
+
+def generate(networks: dict | None = None) -> list[MemoryRow]:
+    """Footprints for every configured network."""
+    networks = networks if networks is not None else PAPER_NETWORKS
+    rows = []
+    for name, (builder, batch) in networks.items():
+        fp = net_memory_footprint(builder(batch_size=batch))
+        doubled = net_memory_footprint(builder(batch_size=2 * batch))
+        rows.append(
+            MemoryRow(
+                network=name, batch=batch, footprint=fp,
+                doubled_fits=doubled.fits(),
+            )
+        )
+    return rows
+
+
+def render(rows: list[MemoryRow] | None = None) -> str:
+    rows = rows if rows is not None else generate()
+    cap = SW_PARAMS.mem_per_cg_bytes / 1024**3
+    table = Table(
+        headers=[
+            "network", "batch", "params(GB)", "activations(GB)",
+            "workspace(GB)", "total(GB)", "fits 8GB", "2x batch fits",
+        ],
+        title=f"Extension: per-CG training memory (capacity {cap:.0f} GiB)",
+    )
+    for r in rows:
+        fp = r.footprint
+        table.add_row(
+            r.network, r.batch,
+            round((fp.params_bytes + fp.solver_bytes) / 1e9, 2),
+            round(fp.activation_bytes / 1e9, 2),
+            round(fp.workspace_bytes / 1e9, 2),
+            round(fp.total_bytes / 1e9, 2),
+            fp.fits(), r.doubled_fits,
+        )
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,92 @@
+"""Extension: straggler sensitivity of synchronous SGD.
+
+The paper justifies synchronous SGD partly by TaihuLight's "balanced
+performance per node": SSGD's barrier makes every iteration as slow as the
+slowest worker, so the scheme only works on homogeneous machines. This
+harness quantifies that — iteration-time inflation as a function of the
+slowest node's slowdown factor and of cluster size (with per-node jitter,
+the expected maximum grows with N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.ssgd import SSGDIterationModel
+from repro.utils.rng import seeded_rng
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class StragglerPoint:
+    """One (nodes, jitter) sample."""
+
+    n_nodes: int
+    jitter_cv: float
+    mean_inflation: float  # E[iteration] / no-jitter iteration
+
+
+def barrier_inflation(
+    n_nodes: int,
+    jitter_cv: float,
+    compute_s: float = 1.0,
+    model_bytes: float = 100e6,
+    n_samples: int = 200,
+    seed: int = 0,
+) -> float:
+    """Expected iteration-time inflation under per-node lognormal jitter.
+
+    Every worker's compute time is ``compute_s`` times a lognormal factor
+    with coefficient of variation ``jitter_cv``; the barrier takes the max.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    if jitter_cv < 0:
+        raise ValueError("jitter_cv must be non-negative")
+    base = SSGDIterationModel(compute_s=compute_s, model_bytes=model_bytes)
+    t_fixed = base.iteration_time(n_nodes) - compute_s
+    if jitter_cv == 0:
+        return 1.0
+    sigma2 = np.log1p(jitter_cv**2)
+    mu = -sigma2 / 2  # unit mean
+    rng = seeded_rng(seed)
+    draws = rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=(n_samples, n_nodes))
+    slowest = draws.max(axis=1) * compute_s
+    mean_iter = float(np.mean(slowest)) + t_fixed
+    return mean_iter / (compute_s + t_fixed)
+
+
+def generate(
+    node_counts: tuple[int, ...] = (4, 64, 1024),
+    jitters: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10),
+) -> list[StragglerPoint]:
+    """Inflation grid over cluster size and jitter."""
+    return [
+        StragglerPoint(n, cv, barrier_inflation(n, cv))
+        for n in node_counts
+        for cv in jitters
+    ]
+
+
+def render(points: list[StragglerPoint] | None = None) -> str:
+    points = points if points is not None else generate()
+    jitters = sorted({p.jitter_cv for p in points})
+    nodes = sorted({p.n_nodes for p in points})
+    table = Table(
+        headers=["nodes"] + [f"cv={cv:g}" for cv in jitters],
+        title="Straggler study: SSGD iteration-time inflation vs per-node jitter",
+    )
+    lookup = {(p.n_nodes, p.jitter_cv): p.mean_inflation for p in points}
+    for n in nodes:
+        table.add_row(n, *(f"{lookup[(n, cv)]:.3f}x" for cv in jitters))
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,53 @@
+"""Table I: comparison of SW26010, NVIDIA K40m and Intel KNL."""
+
+from __future__ import annotations
+
+from repro.hw.spec import K40M_SPEC, KNL_SPEC, SW26010_SPEC, ProcessorSpec
+from repro.utils.tables import Table
+from repro.utils.units import GB
+
+#: The three processors the paper tabulates.
+PROCESSORS: tuple[ProcessorSpec, ...] = (SW26010_SPEC, K40M_SPEC, KNL_SPEC)
+
+
+def generate() -> list[dict[str, float | str | int]]:
+    """Rows of Table I plus the machine-balance column the text derives."""
+    rows = []
+    for spec in PROCESSORS:
+        rows.append(
+            {
+                "name": spec.name,
+                "release_year": spec.release_year,
+                "bandwidth_gbs": spec.mem_bandwidth / GB,
+                "float_tflops": spec.peak_single / 1e12,
+                "double_tflops": spec.peak_double / 1e12,
+                "flop_per_byte": spec.flop_per_byte_single,
+            }
+        )
+    return rows
+
+
+def render(rows: list[dict] | None = None) -> str:
+    """Paper-style table."""
+    rows = rows if rows is not None else generate()
+    table = Table(
+        headers=[
+            "Specifications", "Release Year", "Bandwidth(GB/s)",
+            "float perf. (TFlops)", "double perf. (TFlops)", "flop/byte",
+        ],
+        title="Table I: SW26010 vs NVIDIA K40m vs Intel KNL",
+    )
+    for r in rows:
+        table.add_row(
+            r["name"], r["release_year"], r["bandwidth_gbs"],
+            r["float_tflops"], r["double_tflops"], round(r["flop_per_byte"], 2),
+        )
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

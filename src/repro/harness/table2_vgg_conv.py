@@ -1,0 +1,149 @@
+"""Table II: explicit vs implicit GEMM plans for VGG-16 convolutions.
+
+Reproduces the per-layer comparison on one core group with batch size 128:
+for each convolutional layer, both plans are priced in all three directions
+(forward, weight gradient, input gradient); unavailable implicit entries
+(small channels) appear as ``None``, and the Gflops column reports the best
+plan's achieved rate, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.kernels.conv_explicit import ExplicitConvPlan
+from repro.kernels.conv_implicit import ImplicitConvPlan
+from repro.utils.tables import Table
+
+#: VGG-16 convolution configurations: (name, Ni, No, image size).
+VGG16_CONVS = [
+    ("1_1", 3, 64, 224),
+    ("1_2", 64, 64, 224),
+    ("2_1", 64, 128, 112),
+    ("2_2", 128, 128, 112),
+    ("3_1", 128, 256, 56),
+    ("3_2", 256, 256, 56),
+    ("3_3", 256, 256, 56),
+    ("4_1", 256, 512, 28),
+    ("4_2", 512, 512, 28),
+    ("4_3", 512, 512, 28),
+    ("5_1", 512, 512, 14),
+    ("5_2", 512, 512, 14),
+    ("5_3", 512, 512, 14),
+]
+
+#: Table II batch size (per core group).
+BATCH = 128
+
+
+@dataclass(frozen=True)
+class DirectionResult:
+    """One (layer, direction) comparison."""
+
+    implicit_s: float | None
+    explicit_s: float | None
+    gflops: float | None
+
+    @property
+    def best_s(self) -> float | None:
+        times = [t for t in (self.implicit_s, self.explicit_s) if t is not None]
+        return min(times) if times else None
+
+    @property
+    def winner(self) -> str | None:
+        if self.best_s is None:
+            return None
+        if self.implicit_s is not None and self.best_s == self.implicit_s:
+            return "implicit"
+        return "explicit"
+
+
+@dataclass(frozen=True)
+class ConvRow:
+    """One Table II row."""
+
+    name: str
+    ni: int
+    no: int
+    image: int
+    forward: DirectionResult
+    weight_diff: DirectionResult
+    in_diff: DirectionResult
+
+
+def _direction(explicit, implicit, direction: str, flops: float) -> DirectionResult:
+    exp_t = getattr(explicit, f"cost_{direction}")().total_s
+    imp_t = None
+    if implicit is not None:
+        try:
+            imp_t = getattr(implicit, f"cost_{direction}")().total_s
+        except PlanError:
+            imp_t = None
+    best = min(t for t in (exp_t, imp_t) if t is not None)
+    return DirectionResult(
+        implicit_s=imp_t, explicit_s=exp_t, gflops=flops / best / 1e9
+    )
+
+
+def generate(batch: int = BATCH) -> list[ConvRow]:
+    """Price every VGG-16 conv layer with both plans in all directions."""
+    rows = []
+    for name, ni, no, img in VGG16_CONVS:
+        explicit = ExplicitConvPlan(batch, ni, no, img, img, 3, 1, 1)
+        try:
+            implicit = ImplicitConvPlan(batch, ni, no, img, img, 3, 1, 1)
+        except PlanError:
+            implicit = None
+        flops = 2.0 * batch * no * ni * 9 * img * img  # pad=1 keeps H=W
+        forward = _direction(explicit, implicit, "forward", flops)
+        wdiff = _direction(explicit, implicit, "backward_weight", flops)
+        first_layer = name == "1_1"
+        if first_layer:
+            idiff = DirectionResult(None, None, None)  # no input gradient
+        else:
+            idiff = _direction(explicit, implicit, "backward_input", flops)
+        rows.append(
+            ConvRow(
+                name=name, ni=ni, no=no, image=img,
+                forward=forward, weight_diff=wdiff, in_diff=idiff,
+            )
+        )
+    return rows
+
+
+def _fmt(t: float | None) -> str:
+    return "-" if t is None else f"{t:.2f}"
+
+
+def render(rows: list[ConvRow] | None = None) -> str:
+    """Paper-style text table."""
+    rows = rows if rows is not None else generate()
+    table = Table(
+        headers=[
+            "conv", "Ni", "No", "Ci/Ri",
+            "fwd impl(s)", "fwd expl(s)", "fwd Gflops",
+            "wdiff impl(s)", "wdiff expl(s)", "wdiff Gflops",
+            "idiff impl(s)", "idiff expl(s)", "idiff Gflops",
+        ],
+        title=f"Table II: VGG-16 conv plans on one CG, batch={BATCH}",
+    )
+    for r in rows:
+        table.add_row(
+            r.name, r.ni, r.no, r.image,
+            _fmt(r.forward.implicit_s), _fmt(r.forward.explicit_s),
+            "-" if r.forward.gflops is None else f"{r.forward.gflops:.1f}",
+            _fmt(r.weight_diff.implicit_s), _fmt(r.weight_diff.explicit_s),
+            "-" if r.weight_diff.gflops is None else f"{r.weight_diff.gflops:.1f}",
+            _fmt(r.in_diff.implicit_s), _fmt(r.in_diff.explicit_s),
+            "NA" if r.in_diff.gflops is None else f"{r.in_diff.gflops:.1f}",
+        )
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(generate()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

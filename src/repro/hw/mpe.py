@@ -1,0 +1,54 @@
+"""Management Processing Element (MPE) model.
+
+The MPE is the conventional cached core of a core group. It peaks at only
+11.6 GFlops and copies memory through its cache hierarchy at 9.9 GB/s
+(Principle 2's motivation) — so swCaffe keeps it for control flow, thread
+orchestration, and the rare serial work, never for kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.clock import SimClock
+from repro.hw.spec import SW26010Params, SW_PARAMS
+
+
+@dataclass
+class MPE:
+    """The management core of one core group."""
+
+    params: SW26010Params = field(default_factory=lambda: SW_PARAMS)
+    clock: SimClock = field(default_factory=SimClock)
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s of the MPE (11.6 GFlops)."""
+        return self.params.cg_mpe_peak_flops
+
+    @property
+    def copy_bandwidth(self) -> float:
+        """Memory-to-memory copy bandwidth through the MPE path (9.9 GB/s)."""
+        return self.params.mpe_copy_bw
+
+    def compute_time(self, flops: float, efficiency: float = 1.0) -> float:
+        """Seconds for a scalar/SIMD compute phase on the MPE."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if not 0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        return flops / (self.peak_flops * efficiency)
+
+    def copy_time(self, nbytes: float) -> float:
+        """Seconds to copy ``nbytes`` memory-to-memory via the MPE."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.copy_bandwidth
+
+    def charge_compute(self, flops: float, efficiency: float = 1.0) -> None:
+        """Advance the clock by an MPE compute phase."""
+        self.clock.advance(self.compute_time(flops, efficiency), category="mpe_compute")
+
+    def charge_copy(self, nbytes: float) -> None:
+        """Advance the clock by an MPE memory copy."""
+        self.clock.advance(self.copy_time(nbytes), category="mpe_copy")

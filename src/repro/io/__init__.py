@@ -1,0 +1,28 @@
+"""Parallel I/O subsystem (paper Sec. V-B).
+
+TaihuLight's shared filesystem distributes a file over disk arrays. The
+default *single-split* policy puts one file on one array, so concurrent
+readers saturate that array and per-process bandwidth collapses. swCaffe
+raises the stripe count to 32 with 256 MB stripes so a mini-batch read
+(~192 MB for 256 ImageNet samples) touches at most two arrays and load
+spreads evenly.
+
+* :class:`~repro.io.disk.DiskArrayModel` prices batch reads under both
+  policies;
+* :class:`~repro.io.dataset.SyntheticImageNet` is the deterministic
+  ImageNet-shaped data source (images correlated with labels so small
+  models can actually learn from it);
+* :class:`~repro.io.prefetch.PrefetchPipeline` models the per-worker I/O
+  thread that overlaps reading with compute.
+"""
+
+from repro.io.disk import DiskArrayModel, StripingPolicy
+from repro.io.dataset import SyntheticImageNet
+from repro.io.prefetch import PrefetchPipeline
+
+__all__ = [
+    "DiskArrayModel",
+    "StripingPolicy",
+    "SyntheticImageNet",
+    "PrefetchPipeline",
+]

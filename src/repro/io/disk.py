@@ -1,0 +1,110 @@
+"""Disk-array striping model for the TaihuLight shared filesystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, MB
+
+
+@dataclass(frozen=True)
+class StripingPolicy:
+    """How a dataset file is laid out over disk arrays.
+
+    ``single-split`` (the system default) places the whole file on one
+    array; swCaffe's improved policy stripes it round-robin over
+    ``n_stripes`` arrays in ``stripe_bytes`` blocks (32 x 256 MB in the
+    paper).
+    """
+
+    n_stripes: int
+    stripe_bytes: float
+
+    @classmethod
+    def single_split(cls) -> "StripingPolicy":
+        """The default single-array layout."""
+        return cls(n_stripes=1, stripe_bytes=float("inf"))
+
+    @classmethod
+    def swcaffe(cls) -> "StripingPolicy":
+        """The paper's tuned layout: 32 stripes of 256 MB."""
+        return cls(n_stripes=32, stripe_bytes=256 * MB)
+
+
+class DiskArrayModel:
+    """Prices concurrent mini-batch reads against a striped array set.
+
+    Parameters
+    ----------
+    n_arrays:
+        Disk arrays available in the filesystem.
+    array_bandwidth:
+        Sustained read bandwidth of one array (bytes/s).
+    link_bandwidth:
+        Per-process network-to-filesystem ceiling (bytes/s).
+    """
+
+    def __init__(
+        self,
+        n_arrays: int = 32,
+        array_bandwidth: float = 2.0 * GB,
+        link_bandwidth: float = 2.5 * GB,
+    ) -> None:
+        if n_arrays <= 0 or array_bandwidth <= 0 or link_bandwidth <= 0:
+            raise ValueError("disk model parameters must be positive")
+        self.n_arrays = int(n_arrays)
+        self.array_bandwidth = float(array_bandwidth)
+        self.link_bandwidth = float(link_bandwidth)
+
+    def arrays_touched_per_process(self, policy: StripingPolicy, bytes_per_process: float) -> int:
+        """How many arrays one process's contiguous read spans.
+
+        A contiguous read of ``b`` bytes crosses at most
+        ``b / stripe_bytes + 1`` stripe boundaries (paper: a 192 MB batch on
+        256 MB stripes touches at most two arrays).
+        """
+        if policy.stripe_bytes == float("inf"):
+            return 1
+        spans = int(bytes_per_process // policy.stripe_bytes) + 1
+        return min(spans, min(policy.n_stripes, self.n_arrays))
+
+    def read_time(
+        self,
+        n_processes: int,
+        bytes_per_process: float,
+        policy: StripingPolicy | None = None,
+    ) -> float:
+        """Seconds until every process has its mini-batch.
+
+        Each process reads a random contiguous range (random sampling of a
+        shard). The busiest array paces the read: under single-split every
+        process hits the same array; under round-robin striping the load
+        spreads over ``min(n_stripes, n_arrays)`` arrays, each serving about
+        ``n_processes * spans / arrays`` readers.
+        """
+        if n_processes <= 0 or bytes_per_process < 0:
+            raise ValueError("need positive process count and non-negative bytes")
+        if bytes_per_process == 0:
+            return 0.0
+        policy = policy or StripingPolicy.swcaffe()
+        arrays = min(policy.n_stripes, self.n_arrays)
+        spans = self.arrays_touched_per_process(policy, bytes_per_process)
+        # Total demand spread over the active arrays; ceil'd to whole
+        # processes because a reader cannot split below its span count.
+        readers_per_array = -(-n_processes * spans // arrays)
+        per_array_load = readers_per_array * (bytes_per_process / spans)
+        array_time = per_array_load / self.array_bandwidth
+        link_time = bytes_per_process / self.link_bandwidth
+        return max(array_time, link_time)
+
+    def aggregate_bandwidth(
+        self,
+        n_processes: int,
+        bytes_per_process: float,
+        policy: StripingPolicy | None = None,
+    ) -> float:
+        """Achieved filesystem bandwidth for the whole read."""
+        t = self.read_time(n_processes, bytes_per_process, policy)
+        if t == 0:
+            return 0.0
+        return n_processes * bytes_per_process / t

@@ -1,0 +1,186 @@
+"""On-disk record files: a functional stand-in for Caffe's LMDB path.
+
+swCaffe's data layer reads serialized image records from the shared
+filesystem. This module provides a minimal fixed-record binary format —
+a magic/header block followed by ``(label, image)`` records of uniform
+shape — plus a writer, a random-sampling reader, and a file-backed data
+source pluggable into :class:`~repro.frame.layers.data.DataLayer`.
+
+Format (little-endian):
+
+* 16-byte header: magic ``b"SWRECORD"``, ``uint32`` record count,
+  ``uint32`` ndim;
+* ``ndim x uint32`` sample shape;
+* records: ``int64`` label + ``float32 x prod(shape)`` image, densely
+  packed — so record ``i`` sits at a computable offset and random
+  sampling is a seek, exactly the access pattern the striping model
+  prices.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.utils.rng import seeded_rng
+
+MAGIC = b"SWRECORD"
+_HEADER = struct.Struct("<8sII")
+
+
+class RecordFormatError(ReproError):
+    """Raised for malformed record files."""
+
+
+class RecordWriter:
+    """Sequentially writes uniform ``(label, image)`` records.
+
+    Use as a context manager::
+
+        with RecordWriter(path, sample_shape=(3, 32, 32)) as w:
+            w.write(label, image)
+    """
+
+    def __init__(self, path: str, sample_shape: tuple[int, ...]) -> None:
+        self.path = path
+        self.sample_shape = tuple(int(s) for s in sample_shape)
+        if not self.sample_shape or any(s <= 0 for s in self.sample_shape):
+            raise RecordFormatError(f"bad sample shape {sample_shape}")
+        self._fh = open(path, "wb")
+        self._count = 0
+        # Header is rewritten with the final count on close.
+        self._write_header()
+
+    def _write_header(self) -> None:
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(MAGIC, self._count, len(self.sample_shape)))
+        self._fh.write(
+            struct.pack(f"<{len(self.sample_shape)}I", *self.sample_shape)
+        )
+
+    def write(self, label: int, image: np.ndarray) -> None:
+        """Append one record."""
+        if image.shape != self.sample_shape:
+            raise RecordFormatError(
+                f"image shape {image.shape} != file shape {self.sample_shape}"
+            )
+        self._fh.write(struct.pack("<q", int(label)))
+        self._fh.write(np.ascontiguousarray(image, dtype=np.float32).tobytes())
+        self._count += 1
+
+    def close(self) -> None:
+        """Finalize the header and close."""
+        if not self._fh.closed:
+            self._write_header()
+            self._fh.close()
+
+    def __enter__(self) -> "RecordWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RecordReader:
+    """Random-access reader over a record file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "rb")
+        header = self._fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise RecordFormatError(f"{path!r}: truncated header")
+        magic, count, ndim = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise RecordFormatError(f"{path!r}: bad magic {magic!r}")
+        shape_bytes = self._fh.read(4 * ndim)
+        if len(shape_bytes) != 4 * ndim:
+            raise RecordFormatError(f"{path!r}: truncated shape block")
+        self.sample_shape = struct.unpack(f"<{ndim}I", shape_bytes)
+        self.count = count
+        self._sample_elems = int(np.prod(self.sample_shape))
+        self._record_bytes = 8 + 4 * self._sample_elems
+        self._data_start = _HEADER.size + 4 * ndim
+        expected = self._data_start + self.count * self._record_bytes
+        actual = os.path.getsize(path)
+        if actual < expected:
+            raise RecordFormatError(
+                f"{path!r}: file has {actual} bytes, header promises {expected}"
+            )
+
+    @property
+    def record_bytes(self) -> int:
+        """On-disk size of one record (feeds the disk-array model)."""
+        return self._record_bytes
+
+    def read(self, index: int) -> tuple[int, np.ndarray]:
+        """Read record ``index`` (a seek + one contiguous read)."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"record {index} outside [0, {self.count})")
+        self._fh.seek(self._data_start + index * self._record_bytes)
+        raw = self._fh.read(self._record_bytes)
+        (label,) = struct.unpack_from("<q", raw, 0)
+        image = np.frombuffer(raw, dtype=np.float32, count=self._sample_elems, offset=8)
+        return int(label), image.reshape(self.sample_shape).copy()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "RecordReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FileBackedSource:
+    """Data source reading random records from a record file.
+
+    Drop-in for :class:`~repro.io.dataset.SyntheticImageNet` in
+    :class:`~repro.frame.layers.data.DataLayer` — this one actually hits
+    the filesystem, matching the paper's prefetch-by-random-sampling
+    behaviour (Sec. V-B).
+    """
+
+    def __init__(self, path: str, seed: int = 0) -> None:
+        self.reader = RecordReader(path)
+        self.sample_shape = tuple(self.reader.sample_shape)
+        self._rng = seeded_rng(seed)
+
+    def next_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Random sampling with replacement (the paper's access pattern)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        idx = self._rng.integers(0, self.reader.count, size=batch_size)
+        images = np.empty((batch_size, *self.sample_shape), dtype=np.float32)
+        labels = np.empty(batch_size, dtype=np.int64)
+        for i, j in enumerate(idx):
+            labels[i], images[i] = self.reader.read(int(j))
+        return images, labels
+
+    def batch_bytes(self, batch_size: int) -> float:
+        """On-disk payload of one mini-batch."""
+        return float(batch_size * self.reader.record_bytes)
+
+
+def write_synthetic_records(
+    path: str,
+    n_records: int,
+    num_classes: int,
+    sample_shape: tuple[int, ...],
+    noise: float = 0.3,
+    seed: int = 0,
+) -> None:
+    """Materialize a synthetic dataset to disk (for examples/tests)."""
+    from repro.io.dataset import SyntheticImageNet
+
+    src = SyntheticImageNet(
+        num_classes=num_classes, sample_shape=sample_shape, noise=noise, seed=seed
+    )
+    with RecordWriter(path, sample_shape) as writer:
+        images, labels = src.next_batch(n_records)
+        for img, lab in zip(images, labels):
+            writer.write(int(lab), img)

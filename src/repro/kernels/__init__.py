@@ -1,0 +1,50 @@
+"""SW26010 kernel execution plans (paper Sec. III-IV).
+
+Each plan couples a *functional* NumPy implementation with a *temporal*
+cost model derived from the :mod:`repro.hw` architecture simulator. The
+plan family mirrors swCaffe's kernel zoo:
+
+* :class:`~repro.kernels.gemm.SWGemmPlan` — blocked GEMM using the 8-step
+  row/column register-communication schedule (Sec. IV-A, Fig. 3);
+* :class:`~repro.kernels.conv_explicit.ExplicitConvPlan` — im2col/col2im +
+  GEMM, the original Caffe lowering with DMA-optimized transforms (Fig. 4);
+* :class:`~repro.kernels.conv_implicit.ImplicitConvPlan` — the swDNN-style
+  direct convolution blocked on width/channels, which degrades (and is
+  refused) for small channel counts;
+* :class:`~repro.kernels.pooling.PoolingPlan` — DMA-strategy pooling;
+* :class:`~repro.kernels.transform.TensorTransformPlan` — the layout
+  transposition layer between explicit (B,N,R,C) and implicit (R,C,N,B)
+  data layouts (Sec. IV-C);
+* :func:`~repro.kernels.autotune.select_conv_plan` — the "run the first
+  two iterations, keep the winner" strategy (Sec. VI-A).
+"""
+
+from repro.kernels.plan import KernelPlan, PlanCost
+from repro.kernels.gemm import SWGemmPlan, gemm_register_schedule
+from repro.kernels.im2col import im2col, col2im, Im2colPlan, Col2imPlan
+from repro.kernels.conv_explicit import ExplicitConvPlan
+from repro.kernels.conv_implicit import ImplicitConvPlan
+from repro.kernels.conv_fft import FFTConvPlan
+from repro.kernels.pooling import PoolingPlan
+from repro.kernels.transform import TensorTransformPlan
+from repro.kernels.elementwise import ElementwisePlan
+from repro.kernels.autotune import PlanAutotuner, select_conv_plan
+
+__all__ = [
+    "KernelPlan",
+    "PlanCost",
+    "SWGemmPlan",
+    "gemm_register_schedule",
+    "im2col",
+    "col2im",
+    "Im2colPlan",
+    "Col2imPlan",
+    "ExplicitConvPlan",
+    "ImplicitConvPlan",
+    "FFTConvPlan",
+    "PoolingPlan",
+    "TensorTransformPlan",
+    "ElementwisePlan",
+    "PlanAutotuner",
+    "select_conv_plan",
+]

@@ -1,0 +1,85 @@
+"""Elementwise / bandwidth-bound kernel plan.
+
+ReLU, batch-norm, dropout, bias, softmax, scale — on SW26010 these layers
+are dominated by DMA streaming (the paper's Fig. 8/9 observation that
+"bandwidth-bounded layers ... still have a significant amount of time on
+SW26010" while a GPU hides them in its 288 GB/s device memory). One plan
+covers them all: it streams ``reads + writes`` bytes through LDM and
+retires ``flops`` on the way.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.kernels.plan import KernelPlan, PlanCost
+from repro.hw.spec import SW26010Params
+
+
+class ElementwisePlan(KernelPlan):
+    """Streaming kernel: y = f(x, ...) with per-element work.
+
+    Parameters
+    ----------
+    read_bytes, write_bytes:
+        DRAM traffic of each direction.
+    flops:
+        Arithmetic per invocation (ReLU ~1/elem, BN ~5/elem, ...).
+    compute_efficiency:
+        Fraction of CPE-cluster peak the per-element math sustains
+        (elementwise chains rarely exceed ~25%: no FMA balance, short
+        dependency chains).
+    """
+
+    name = "elementwise"
+
+    def __init__(
+        self,
+        read_bytes: float,
+        write_bytes: float,
+        flops: float = 0.0,
+        compute_efficiency: float = 0.25,
+        params: SW26010Params | None = None,
+    ) -> None:
+        super().__init__(params)
+        if read_bytes < 0 or write_bytes < 0 or flops < 0:
+            raise PlanError("traffic and flops must be non-negative")
+        if not 0 < compute_efficiency <= 1.0:
+            raise PlanError("compute_efficiency must be in (0, 1]")
+        self.read_bytes = float(read_bytes)
+        self.write_bytes = float(write_bytes)
+        self.flops = float(flops)
+        self.compute_efficiency = float(compute_efficiency)
+
+    @classmethod
+    def for_tensor(
+        cls,
+        n_elements: int,
+        *,
+        flops_per_element: float = 1.0,
+        n_inputs: int = 1,
+        n_outputs: int = 1,
+        dtype_bytes: int = 4,
+        compute_efficiency: float = 0.25,
+        params: SW26010Params | None = None,
+    ) -> "ElementwisePlan":
+        """Convenience constructor from element counts."""
+        nbytes = float(n_elements * dtype_bytes)
+        return cls(
+            read_bytes=n_inputs * nbytes,
+            write_bytes=n_outputs * nbytes,
+            flops=flops_per_element * n_elements,
+            compute_efficiency=compute_efficiency,
+            params=params,
+        )
+
+    def cost(self) -> PlanCost:
+        total = self.read_bytes + self.write_bytes
+        dma_s = self._cg.dma.bulk_time(total) if total > 0 else 0.0
+        compute_s = (
+            self.flops / (self._cg.peak_flops * self.compute_efficiency)
+            if self.flops
+            else 0.0
+        )
+        return PlanCost(
+            compute_s=compute_s, dma_s=dma_s, flops=self.flops, dma_bytes=total
+        )

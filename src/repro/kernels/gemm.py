@@ -1,0 +1,339 @@
+"""Blocked GEMM with the 8-step register-communication schedule (Sec. IV-A).
+
+The algorithm: matrices A (m x k), B (k x n), C (m x n) are tiled over the
+8x8 CPE mesh; CPE(i, j) owns tiles A(i, :), B(:, j) and computes C(i, j).
+At time step t, CPE(i, t) column-broadcasts A(i, t) and CPE(t, j)
+row-broadcasts B(t, j); every CPE accumulates ``C(i,j) += A(i,t) @ B(t,j)``.
+Eight steps complete the product with each operand fetched from memory to
+LDM exactly once — the highest possible flop-to-byte ratio.
+
+Matrices too large for LDM are processed in outer blocks (Principle 3:
+blocks are chosen as large as LDM allows so DMA runs at full bandwidth).
+
+Because the SW26010 instruction set has no single-precision register
+communication, single-precision GEMMs pay an inline float<->double
+conversion, modeled as a compute-efficiency tax.
+
+Two functional paths exist:
+
+* :meth:`SWGemmPlan.run` — fast NumPy ``A @ B`` (used by the framework);
+* :func:`gemm_register_schedule` — a literal execution of the 8x8 schedule
+  (tile broadcasts and per-step accumulation), property-tested equal to
+  ``A @ B``, which pins the schedule's correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.kernels.plan import KernelPlan, PlanCost
+from repro.hw.spec import SW26010Params
+
+
+def gemm_register_schedule(a: np.ndarray, b: np.ndarray, mesh: int = 8) -> np.ndarray:
+    """Execute C = A @ B via the literal mesh broadcast schedule.
+
+    Pads each dimension up to a multiple of ``mesh``, runs the ``mesh``
+    time steps of row/column broadcasts, and returns the unpadded product.
+    This is the *semantic* reference for the register-communication GEMM.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise PlanError(f"GEMM shape mismatch: {a.shape} @ {b.shape}")
+    m, k = a.shape
+    _, n = b.shape
+
+    def pad_to(x: int) -> int:
+        return mesh * math.ceil(x / mesh)
+
+    mp, kp, np_ = pad_to(m), pad_to(k), pad_to(n)
+    ap = np.zeros((mp, kp), dtype=np.float64)
+    bp = np.zeros((kp, np_), dtype=np.float64)
+    ap[:m, :k] = a
+    bp[:k, :n] = b
+    mt, kt, nt = mp // mesh, kp // mesh, np_ // mesh
+
+    # c_tiles[i][j] is the C tile resident on CPE(i, j).
+    c_tiles = [[np.zeros((mt, nt)) for _ in range(mesh)] for _ in range(mesh)]
+    for t in range(mesh):
+        # Column broadcast: CPE(i, t) sends A(i, t) down its column.
+        a_col = [ap[i * mt : (i + 1) * mt, t * kt : (t + 1) * kt] for i in range(mesh)]
+        # Row broadcast: CPE(t, j) sends B(t, j) along its row.
+        b_row = [bp[t * kt : (t + 1) * kt, j * nt : (j + 1) * nt] for j in range(mesh)]
+        for i in range(mesh):
+            for j in range(mesh):
+                c_tiles[i][j] += a_col[i] @ b_row[j]
+
+    c = np.empty((mp, np_))
+    for i in range(mesh):
+        for j in range(mesh):
+            c[i * mt : (i + 1) * mt, j * nt : (j + 1) * nt] = c_tiles[i][j]
+    return c[:m, :n].astype(np.result_type(a, b), copy=False)
+
+
+@dataclass(frozen=True)
+class GemmBlocking:
+    """Outer blocking of a large GEMM into LDM-resident panels."""
+
+    mb: int
+    nb: int
+    kb: int
+
+    @property
+    def flop_per_byte(self) -> float:
+        """Arithmetic intensity of one block at 4-byte elements."""
+        traffic = 4.0 * (self.mb * self.kb + self.kb * self.nb + self.mb * self.nb)
+        return 2.0 * self.mb * self.nb * self.kb / traffic
+
+
+class SWGemmPlan(KernelPlan):
+    """Cost/function plan for ``C += A @ B`` on one core group.
+
+    Parameters
+    ----------
+    m, n, k:
+        GEMM dimensions.
+    dtype_bytes:
+        Element size in memory (4 = single precision, the Caffe default).
+    """
+
+    name = "swgemm"
+
+    #: Fraction of peak the double-pipeline FMA kernel sustains with full
+    #: tiles (register blocking, dual issue) — calibrated against the best
+    #: sustained DGEMM results on SW26010 (Jiang et al., ICPP'17 report
+    #: >85% of peak for large square matrices; the swCaffe layer kernels
+    #: run shorter and irregular shapes, so the library sustains less).
+    base_efficiency = 0.82
+
+    #: Extra compute tax for single-precision data: float->double widening
+    #: before RLC and narrowing after, done inline with SIMD shuffles.
+    single_precision_tax = 0.18
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype_bytes: int = 4,
+        params: SW26010Params | None = None,
+    ) -> None:
+        super().__init__(params)
+        if min(m, n, k) <= 0:
+            raise PlanError(f"GEMM dims must be positive, got {(m, n, k)}")
+        self.m, self.n, self.k = int(m), int(n), int(k)
+        self.dtype_bytes = int(dtype_bytes)
+        self.blocking = self._choose_blocking()
+
+    # ------------------------------------------------------------------ #
+    # blocking
+    # ------------------------------------------------------------------ #
+    def _ldm_fit(self, mb: int, nb: int, kb: int) -> bool:
+        """Whether per-CPE tiles of a candidate block fit in LDM.
+
+        Tiles live in LDM in double precision (RLC granularity), double
+        buffered on the A/B panels so DMA overlaps compute.
+        """
+        mesh = self.params.cpe_rows
+        per_cpe = 8.0 * (
+            2 * (mb / mesh) * (kb / mesh)  # A tile, double buffered
+            + 2 * (kb / mesh) * (nb / mesh)  # B tile, double buffered
+            + (mb / mesh) * (nb / mesh)  # C accumulator
+        )
+        reserve = 4 * 1024  # stack, control blocks
+        return per_cpe <= self.params.ldm_bytes - reserve
+
+    def _choose_blocking(self) -> GemmBlocking:
+        """Pick the largest LDM-resident block, preferring high intensity."""
+        mesh = self.params.cpe_rows
+        candidates = [mesh * x for x in (1, 2, 4, 8, 16, 24, 32, 48, 64)]
+
+        def clamp(dim: int) -> list[int]:
+            opts = [c for c in candidates if c < dim + mesh]
+            return opts or [mesh]
+
+        best: tuple[float, GemmBlocking] | None = None
+        for mb in clamp(self.m):
+            for nb in clamp(self.n):
+                for kb in clamp(self.k):
+                    if not self._ldm_fit(mb, nb, kb):
+                        continue
+                    blk = GemmBlocking(mb, nb, kb)
+                    score = blk.flop_per_byte
+                    if best is None or score > best[0]:
+                        best = (score, blk)
+        if best is None:
+            raise PlanError("no LDM-feasible GEMM blocking found")
+        return best[1]
+
+    # ------------------------------------------------------------------ #
+    # cost model
+    # ------------------------------------------------------------------ #
+    def _compute_efficiency(self) -> float:
+        """Sustained fraction of CPE-cluster peak for this shape.
+
+        Per-CPE tile dims drive pipeline/SIMD fill. Calibrated against the
+        paper's Table II operating points:
+
+        * the m dimension (rows per CPE row) is the critical one — the
+          paper states GEMM only becomes compute-bound for m > 160, i.e.
+          mt = m/8 > 20; a steep power law reproduces the measured collapse
+          at m = 64 (conv1_2: ~60-110 Gflops) while large-m layers sustain
+          >400 Gflops;
+        * short contraction dims (conv1_1's K*K*Ni = 27) waste the 8-step
+          register-communication pipeline — a quadratic Hill curve hits the
+          measured 5.3 Gflops;
+        * the n dimension only needs to fill the SIMD lanes.
+
+        Known artifact: because the small-m penalty shrinks superlinearly
+        as m grows, *total* time can dip slightly when m crosses out of the
+        starved regime at fixed n, k. Achieved Gflops stays monotone (see
+        ``tests/test_cost_properties.py``), which is the invariant the
+        paper's measurements support.
+        """
+        mesh = self.params.cpe_rows
+        blk = self.blocking
+        mt = max(1.0, blk.mb / mesh)
+        nt = max(1.0, blk.nb / mesh)
+        kt = max(1.0, blk.kb / mesh)
+        f_m = min(1.0, (mt / 32.0) ** 1.6)
+        f_n = nt / (nt + 2.0)
+        f_k = kt * kt / (kt * kt + 37.0)
+        fill = f_m * f_n * f_k
+        # Fringe blocks: the last block in each dim is partially full.
+        util = (
+            (self.m / (math.ceil(self.m / blk.mb) * blk.mb))
+            * (self.n / (math.ceil(self.n / blk.nb) * blk.nb))
+            * (self.k / (math.ceil(self.k / blk.kb) * blk.kb))
+        )
+        eff = self.base_efficiency * fill * util
+        if self.dtype_bytes < 8:
+            eff *= 1.0 - self.single_precision_tax
+        return max(eff, 1e-3)
+
+    def traffic_bytes(self) -> float:
+        """Total DRAM traffic of the blocked GEMM.
+
+        A panels are re-read once per column-block sweep, B panels once per
+        row-block sweep, C read+written once.
+        """
+        blk = self.blocking
+        m_blocks = math.ceil(self.m / blk.mb)
+        n_blocks = math.ceil(self.n / blk.nb)
+        a_bytes = n_blocks * self.m * self.k * self.dtype_bytes
+        b_bytes = m_blocks * self.k * self.n * self.dtype_bytes
+        c_bytes = 2 * self.m * self.n * self.dtype_bytes
+        return float(a_bytes + b_bytes + c_bytes)
+
+    def rlc_bytes(self) -> float:
+        """Register-communication traffic (tiles are broadcast in doubles)."""
+        blk = self.blocking
+        m_blocks = math.ceil(self.m / blk.mb)
+        n_blocks = math.ceil(self.n / blk.nb)
+        k_blocks = math.ceil(self.k / blk.kb)
+        per_block = 8.0 * (blk.mb * blk.kb + blk.kb * blk.nb)
+        return m_blocks * n_blocks * k_blocks * per_block
+
+    def cost(self) -> PlanCost:
+        """Simulated time for the full blocked GEMM on one core group."""
+        flops = 2.0 * self.m * self.n * self.k
+        eff = self._compute_efficiency()
+        compute_s = flops / (self._cg.peak_flops * eff)
+        dma_bytes = self.traffic_bytes()
+        # DMA rows of each panel are contiguous runs of kb/nb elements.
+        row_bytes = min(self.blocking.kb, self.blocking.nb) * self.dtype_bytes
+        dma_s = self._cg.dma.bulk_time(dma_bytes, block_bytes=row_bytes)
+        rlc_s = self._cg.rlc.broadcast_time(self.rlc_bytes())
+        blk = self.blocking
+        n_outer = (
+            math.ceil(self.m / blk.mb)
+            * math.ceil(self.n / blk.nb)
+            * math.ceil(self.k / blk.kb)
+        )
+        overhead_s = n_outer * self.params.dma_latency_s
+        return PlanCost(
+            compute_s=compute_s,
+            dma_s=dma_s,
+            rlc_s=rlc_s,
+            overhead_s=overhead_s,
+            flops=flops,
+            dma_bytes=dma_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # functional
+    # ------------------------------------------------------------------ #
+    def run_blocked(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Execute the full blocked schedule against the hardware model.
+
+        Panels of A/B stream through the core group's DMA engine (charging
+        its clock), the per-CPE LDM budget is *enforced* for every resident
+        tile set, and each LDM-resident block product runs the literal
+        8-step register-communication schedule. Numerically identical to
+        ``A @ B``; used by fidelity tests to pin that the cost model and
+        the functional semantics describe the same algorithm.
+        """
+        if a.shape != (self.m, self.k) or b.shape != (self.k, self.n):
+            raise PlanError(
+                f"operand shapes {a.shape} @ {b.shape} do not match plan "
+                f"({self.m}x{self.k} @ {self.k}x{self.n})"
+            )
+        blk = self.blocking
+        mesh = self.params.cpe_rows
+        c = np.zeros((self.m, self.n), dtype=np.float64)
+        # One representative CPE's LDM stands in for the whole mesh (tiles
+        # are the same size everywhere).
+        ldm = self._cg.cpes[0].ldm
+        dma = self._cg.dma
+        for i0 in range(0, self.m, blk.mb):
+            i1 = min(i0 + blk.mb, self.m)
+            for j0 in range(0, self.n, blk.nb):
+                j1 = min(j0 + blk.nb, self.n)
+                acc = np.zeros((i1 - i0, j1 - j0), dtype=np.float64)
+                for k0 in range(0, self.k, blk.kb):
+                    k1 = min(k0 + blk.kb, self.k)
+                    # Reserve the per-CPE tile set (double-buffered A/B).
+                    a_tile = 8 * 2 * -(-(i1 - i0) // mesh) * -(-(k1 - k0) // mesh)
+                    b_tile = 8 * 2 * -(-(k1 - k0) // mesh) * -(-(j1 - j0) // mesh)
+                    c_tile = 8 * -(-(i1 - i0) // mesh) * -(-(j1 - j0) // mesh)
+                    ldm.alloc("gemm/a", a_tile)
+                    ldm.alloc("gemm/b", b_tile)
+                    ldm.alloc("gemm/c", c_tile)
+                    try:
+                        a_panel = dma.get(
+                            a[i0:i1, k0:k1],
+                            block_bytes=(k1 - k0) * self.dtype_bytes,
+                        )
+                        b_panel = dma.get(
+                            b[k0:k1, j0:j1],
+                            block_bytes=(j1 - j0) * self.dtype_bytes,
+                        )
+                        acc += gemm_register_schedule(
+                            a_panel.astype(np.float64),
+                            b_panel.astype(np.float64),
+                            mesh=mesh,
+                        )
+                    finally:
+                        ldm.free_buffer("gemm/a")
+                        ldm.free_buffer("gemm/b")
+                        ldm.free_buffer("gemm/c")
+                dma.put(acc, c[i0:i1, j0:j1])
+        return c.astype(np.result_type(a, b), copy=False)
+
+    def run(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``C (+)= A @ B`` (fast NumPy path, same semantics)."""
+        if a.shape != (self.m, self.k) or b.shape != (self.k, self.n):
+            raise PlanError(
+                f"operand shapes {a.shape} @ {b.shape} do not match plan "
+                f"({self.m}x{self.k} @ {self.k}x{self.n})"
+            )
+        prod = a @ b
+        if c is None:
+            return prod
+        if c.shape != (self.m, self.n):
+            raise PlanError(f"C shape {c.shape} != ({self.m}, {self.n})")
+        c += prod
+        return c

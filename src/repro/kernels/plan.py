@@ -1,0 +1,132 @@
+"""Kernel plan base types.
+
+A :class:`KernelPlan` is the unit swCaffe schedules on a core group: it
+knows its shapes, its LDM blocking, how many FLOPs and DMA bytes it moves,
+and therefore how long it takes on the modeled hardware. Subclasses provide
+the functional NumPy execution.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.hw.core_group import CoreGroup
+from repro.hw.spec import SW26010Params, SW_PARAMS
+
+
+#: Work-saturation knee for convolution kernel invocations, in FLOPs.
+#: A CPE-cluster kernel needs substantial work per invocation to amortize
+#: LDM warm-up, pipeline fill and blocking fringe; invocations carrying
+#: fewer than a few hundred MFLOPs (ResNet-50 / GoogLeNet layers at small
+#: per-CG batches) run at a fraction ``w / (w + knee)`` of their steady-
+#: state efficiency. Calibrated against Table III: both nets sustain only
+#: ~2.2-2.4% of peak there while VGG (16x more work per invocation at the
+#: same batch budget) sustains ~10%.
+WORK_SATURATION_FLOPS = 0.6e9
+
+
+def work_saturation(flops: float) -> float:
+    """Efficiency fraction retained by an invocation of ``flops`` work.
+
+    Floored at 2% so toy-scale kernels (unit tests, LeNet examples) degrade
+    to a fixed overhead regime instead of diverging; the networks the paper
+    evaluates never reach the floor.
+    """
+    if flops <= 0:
+        return 1.0
+    return max(flops / (flops + WORK_SATURATION_FLOPS), 0.02)
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Simulated time breakdown of one plan invocation on one core group."""
+
+    compute_s: float = 0.0
+    dma_s: float = 0.0
+    rlc_s: float = 0.0
+    overhead_s: float = 0.0
+    flops: float = 0.0
+    dma_bytes: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end seconds with the dual-pipeline overlap rule.
+
+        Compute and DMA overlap on the two CPE issue pipelines; RLC is
+        modeled as pipelined under compute (the GEMM inner loop), so the
+        bound is the slowest of the three plus fixed overheads.
+        """
+        return max(self.compute_s, self.dma_s, self.rlc_s) + self.overhead_s
+
+    @property
+    def serial_s(self) -> float:
+        """Pessimistic no-overlap time (used by naive-port comparisons)."""
+        return self.compute_s + self.dma_s + self.rlc_s + self.overhead_s
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFlop/s at the overlapped time."""
+        t = self.total_s
+        return self.flops / t / 1e9 if t > 0 else 0.0
+
+    def __add__(self, other: "PlanCost") -> "PlanCost":
+        """Sequential composition: each phase keeps its internal overlap."""
+        return combine_sequential([self, other])
+
+
+def combine_sequential(costs: list[PlanCost]) -> PlanCost:
+    """Combine phases that run one after another.
+
+    Each phase keeps its own internal compute/DMA overlap; the total is the
+    sum of per-phase totals. The returned object reports component sums for
+    reporting and encodes the exact total via ``overhead_s``.
+    """
+    compute = sum(c.compute_s for c in costs)
+    dma = sum(c.dma_s for c in costs)
+    rlc = sum(c.rlc_s for c in costs)
+    flops = sum(c.flops for c in costs)
+    dbytes = sum(c.dma_bytes for c in costs)
+    total = sum(c.total_s for c in costs)
+    overhead = total - max(compute, dma, rlc)
+    # A sequence of phases can never be faster than any single component
+    # stream, so the correction is non-negative up to float rounding.
+    overhead = max(overhead, 0.0)
+    return PlanCost(
+        compute_s=compute,
+        dma_s=dma,
+        rlc_s=rlc,
+        overhead_s=overhead,
+        flops=flops,
+        dma_bytes=dbytes,
+    )
+
+
+class KernelPlan(abc.ABC):
+    """Base class for SW26010 kernel plans.
+
+    Parameters
+    ----------
+    params:
+        SW26010 model constants (defaults to the calibrated set).
+    """
+
+    #: Human-readable plan name used by the autotuner and harness tables.
+    name: str = "plan"
+
+    def __init__(self, params: SW26010Params | None = None) -> None:
+        self.params = params or SW_PARAMS
+        self._cg = CoreGroup(params=self.params)
+
+    @property
+    def core_group(self) -> CoreGroup:
+        """The core group the plan prices against."""
+        return self._cg
+
+    @abc.abstractmethod
+    def cost(self) -> PlanCost:
+        """Simulated time for one invocation on one core group."""
+
+    def time_s(self) -> float:
+        """Convenience: total simulated seconds."""
+        return self.cost().total_s

@@ -1,0 +1,88 @@
+"""Tensor layout transformation plan (Sec. IV-C).
+
+swCaffe gathers implicit-GEMM convolution layers together and inserts a
+transformation layer at the boundary: it transposes 4D tensors between the
+explicit/default layout (B, N, R, C) and the implicit layout (R, C, N, B).
+The operation is pure irregular data movement, implemented on the CPE
+cluster with strided DMA loads and SIMD shuffle stores — priced here with
+short-block strided transfers on both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlanError, ShapeError
+from repro.kernels.plan import KernelPlan, PlanCost
+from repro.hw.spec import SW26010Params
+
+#: Explicit/default Caffe layout.
+LAYOUT_BNRC = (0, 1, 2, 3)
+#: Implicit-plan layout: (R, C, N, B) expressed as axes of (B, N, R, C).
+LAYOUT_RCNB = (2, 3, 1, 0)
+
+
+class TensorTransformPlan(KernelPlan):
+    """4D tensor transposition between the explicit and implicit layouts."""
+
+    name = "transform"
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int, int],
+        to_implicit: bool = True,
+        dtype_bytes: int = 4,
+        params: SW26010Params | None = None,
+    ) -> None:
+        super().__init__(params)
+        if len(shape) != 4 or min(shape) <= 0:
+            raise PlanError(f"transform needs a positive 4D shape, got {shape}")
+        self.shape = tuple(int(s) for s in shape)
+        self.to_implicit = bool(to_implicit)
+        self.dtype_bytes = int(dtype_bytes)
+
+    @property
+    def nbytes(self) -> float:
+        """Tensor payload in bytes."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return float(n * self.dtype_bytes)
+
+    def cost(self) -> PlanCost:
+        """Read once strided, write once strided.
+
+        The innermost contiguous run after transposition is the last axis
+        of the source layout on one side and the batch/width axis on the
+        other; both are short, so this kernel runs at the strided-DMA
+        bandwidth of Fig. 2's right panels.
+        """
+        if self.to_implicit:
+            read_run = self.shape[3] * self.dtype_bytes  # C (width) runs
+            write_run = self.shape[0] * self.dtype_bytes  # B runs
+        else:
+            read_run = self.shape[0] * self.dtype_bytes
+            write_run = self.shape[3] * self.dtype_bytes
+        dma_s = self._cg.dma.bulk_time(
+            self.nbytes, block_bytes=max(32, read_run)
+        ) + self._cg.dma.bulk_time(self.nbytes, block_bytes=max(32, write_run))
+        # SIMD shuffles to re-pack vectors: ~1 op per element.
+        elems = self.nbytes / self.dtype_bytes
+        compute_s = elems / (self._cg.peak_flops * 0.25)
+        return PlanCost(
+            compute_s=compute_s, dma_s=dma_s, dma_bytes=2 * self.nbytes, flops=elems
+        )
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Apply the transposition functionally."""
+        if x.ndim != 4:
+            raise ShapeError(f"transform expects a 4D tensor, got {x.shape}")
+        if self.to_implicit:
+            if x.shape != self.shape:
+                raise ShapeError(f"input shape {x.shape} != plan shape {self.shape}")
+            return np.ascontiguousarray(np.transpose(x, LAYOUT_RCNB))
+        # Inverse direction: input is (R, C, N, B) for plan shape (B, N, R, C).
+        expected = tuple(self.shape[a] for a in LAYOUT_RCNB)
+        if x.shape != expected:
+            raise ShapeError(f"input shape {x.shape} != implicit shape {expected}")
+        return np.ascontiguousarray(np.transpose(x, (3, 2, 0, 1)))

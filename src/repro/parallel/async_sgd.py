@@ -1,0 +1,118 @@
+"""Asynchronous SGD with stale gradients (the Inspur-Caffe scheme).
+
+The paper's related work describes Inspur-Caffe as "an MPI-based Caffe fork
+that exploits [the] parameter-server approach with stale asynchronous
+gradient updates" — the main alternative to the synchronous scheme swCaffe
+adopts. This trainer executes it: workers compute gradients against the
+parameter version they last pulled, and the server applies them as they
+arrive, so a gradient computed at version ``v`` may be applied at version
+``v + staleness``.
+
+Asynchrony removes the synchronization barrier (no allreduce, no waiting
+for stragglers) at the cost of gradient staleness; the tests show the
+convergence penalty growing with staleness, which is the trade-off that
+made the paper choose synchronous SGD "considering the high quality of
+network and balanced performance per node".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.frame.net import Net
+from repro.parallel.packing import GradientPacker
+
+
+@dataclass
+class AsyncTrainStats:
+    """Records of an asynchronous run."""
+
+    losses: list[float] = field(default_factory=list)
+    applied_updates: int = 0
+    mean_staleness: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.losses)
+
+
+class AsyncSGDTrainer:
+    """Round-robin simulation of asynchronous parameter-server SGD.
+
+    One *logical* net evaluates gradients (workers share architecture and
+    data source distribution; what differs per worker is *when* it pulled
+    parameters). The scheduler interleaves workers round-robin: at each
+    tick one worker finishes a gradient computed against the parameters it
+    pulled ``staleness`` ticks ago, the server applies it immediately, and
+    the worker re-pulls. ``staleness = 0`` degenerates to sequential SGD.
+
+    Parameters
+    ----------
+    net_factory:
+        Builds the (single) evaluation net.
+    n_workers:
+        Concurrent workers; with round-robin scheduling each gradient is
+        applied ``n_workers - 1`` updates after the pull that produced it.
+    base_lr:
+        Learning rate (no momentum — the classic downpour configuration).
+    """
+
+    def __init__(
+        self,
+        net_factory: Callable[[], Net],
+        n_workers: int,
+        base_lr: float = 0.01,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError("need at least one worker")
+        self.net = net_factory()
+        self.packer = GradientPacker(self.net.params)
+        self.n_workers = int(n_workers)
+        self.base_lr = float(base_lr)
+        # Pending gradients: (gradient, version_pulled).
+        self._pending: deque[tuple[np.ndarray, int]] = deque()
+        self._version = 0
+        self._staleness_sum = 0
+
+    def _evaluate_gradient(self) -> tuple[float, np.ndarray]:
+        """Forward/backward at the *current* parameters."""
+        self.net.zero_param_diffs()
+        losses = self.net.forward()
+        self.net.backward()
+        return sum(losses.values()), self.packer.pack_diffs()
+
+    def step(self, n_iters: int = 1) -> AsyncTrainStats:
+        """Run ``n_iters`` gradient evaluations with async application.
+
+        The pipeline keeps ``n_workers`` gradients in flight: a gradient
+        evaluated at version ``v`` is applied at version
+        ``v + n_workers - 1``.
+        """
+        stats = AsyncTrainStats()
+        for _ in range(n_iters):
+            loss, grad = self._evaluate_gradient()
+            stats.losses.append(loss)
+            self._pending.append((grad, self._version))
+            # Apply the oldest in-flight gradient once the pipe is full.
+            if len(self._pending) >= self.n_workers:
+                stale_grad, pulled_at = self._pending.popleft()
+                flat = self.packer.pack_data().astype(np.float64)
+                flat -= self.base_lr * stale_grad.astype(np.float64)
+                self._write_params(flat)
+                self._staleness_sum += self._version - pulled_at
+                self._version += 1
+                stats.applied_updates += 1
+        if stats.applied_updates:
+            stats.mean_staleness = self._staleness_sum / max(1, stats.applied_updates)
+        return stats
+
+    def _write_params(self, flat: np.ndarray) -> None:
+        pos = 0
+        for p in self.net.params:
+            n = p.count
+            p.data = flat[pos : pos + n].reshape(p.shape).astype(p.dtype)
+            pos += n

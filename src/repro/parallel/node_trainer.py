@@ -1,0 +1,104 @@
+"""Node-level trainer: Algorithm 1's intra-node portion, executed.
+
+Fig. 5's structure — four pthreads, one per core group, each running
+forward/backward on a quarter of the node's sub-mini-batch, synchronizing
+through ``simple_sync`` and averaging gradients on CG0 — is functionally
+data-parallel SGD with free-ish shared-memory communication. This trainer
+executes it: four net replicas process batch quarters, CG0 (replica 0)
+averages the parameter gradients in shared memory, and a single update is
+applied to all replicas.
+
+The invariant (tested): training equals single-replica training on the
+full sub-mini-batch, while the simulated time follows the fork/join +
+local-reduce model of :class:`~repro.parallel.threads.MultiCGRunner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.frame.net import Net
+from repro.frame.solver import SGDSolver
+from repro.hw.spec import SW_PARAMS
+from repro.parallel.packing import GradientPacker
+from repro.parallel.threads import MultiCGRunner
+
+
+@dataclass
+class NodeTrainStats:
+    """Records of an intra-node (4-CG) training run."""
+
+    losses: list[float] = field(default_factory=list)
+    simulated_time_s: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.losses)
+
+
+class MultiCGTrainer:
+    """Algorithm 1 on one node: 4 core groups over batch quarters.
+
+    Parameters
+    ----------
+    net_factory:
+        ``net_factory(cg_index)`` builds one replica reading that CG's
+        quarter of the data (replicas must share weight seeds).
+    base_lr, momentum, weight_decay:
+        Update hyperparameters (applied identically on every CG).
+    """
+
+    def __init__(
+        self,
+        net_factory: Callable[[int], Net],
+        base_lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.n_cgs = SW_PARAMS.n_core_groups
+        self.nets = [net_factory(i) for i in range(self.n_cgs)]
+        self.solvers = [
+            SGDSolver(net, base_lr=base_lr, momentum=momentum, weight_decay=weight_decay)
+            for net in self.nets
+        ]
+        self.packers = [GradientPacker(net.params) for net in self.nets]
+        self.runner = MultiCGRunner()
+
+    def step(self, n_iters: int = 1) -> NodeTrainStats:
+        """Run synchronized node-local iterations."""
+        stats = NodeTrainStats()
+        model_bytes = self.packers[0].total_bytes
+        for _ in range(n_iters):
+            per_cg_losses = []
+            per_cg_times = []
+            for net in self.nets:
+                net.zero_param_diffs()
+                losses = net.forward()
+                net.backward()
+                per_cg_losses.append(sum(losses.values()))
+                per_cg_times.append(net.sw_iteration_time())
+            # CG0 averages the four gradient copies (shared memory).
+            flats = [p.pack_diffs() for p in self.packers]
+            mean = np.mean(flats, axis=0)
+            for packer in self.packers:
+                packer.unpack_diffs(mean)
+            for solver in self.solvers:
+                solver.apply_update()
+                solver.iter += 1
+            node_time = self.runner.iteration_time(
+                per_cg_times, model_bytes, n_layer_syncs=len(self.nets[0].layers)
+            )
+            stats.simulated_time_s += node_time.total_s
+            stats.losses.append(float(np.mean(per_cg_losses)))
+        return stats
+
+    def replicas_in_sync(self, atol: float = 0.0) -> bool:
+        """Whether the four CG replicas hold identical parameters."""
+        ref = self.packers[0].pack_data()
+        return all(
+            np.allclose(p.pack_data(), ref, rtol=0, atol=atol)
+            for p in self.packers[1:]
+        )

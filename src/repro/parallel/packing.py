@@ -1,0 +1,76 @@
+"""Gradient packing (paper Sec. V-A, last paragraph).
+
+Layer gradients vary from kilobytes (first conv filters) to hundreds of
+megabytes (first fully-connected layer). Reducing them one allreduce per
+layer pays a latency term per layer and runs the CPE summation at tiny-DMA
+granularity; swCaffe packs all gradients into one contiguous buffer after
+backward propagation, so both the network and the memory system see one
+large, efficient operation.
+
+:class:`GradientPacker` provides both the functional pack/unpack (used by
+the distributed trainer) and the cost comparison (used by the ablation
+bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frame.blob import Blob
+
+
+class GradientPacker:
+    """Packs a fixed set of parameter blobs into one flat float32 buffer."""
+
+    def __init__(self, params: list[Blob]) -> None:
+        if not params:
+            raise ShapeError("cannot pack an empty parameter list")
+        self.params = list(params)
+        self._counts = [p.count for p in self.params]
+        self._offsets = np.concatenate([[0], np.cumsum(self._counts)])
+        self.total_count = int(self._offsets[-1])
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload of the packed buffer."""
+        return self.total_count * 4
+
+    @property
+    def layer_bytes(self) -> list[int]:
+        """Per-parameter payloads (the per-layer allreduce message sizes)."""
+        return [c * 4 for c in self._counts]
+
+    def pack_diffs(self) -> np.ndarray:
+        """Gather all parameter gradients into one flat buffer."""
+        out = np.empty(self.total_count, dtype=np.float32)
+        for p, lo, hi in zip(self.params, self._offsets[:-1], self._offsets[1:]):
+            out[lo:hi] = p.diff.ravel()
+        return out
+
+    def unpack_diffs(self, flat: np.ndarray) -> None:
+        """Scatter a flat buffer back into the parameter gradients."""
+        if flat.size != self.total_count:
+            raise ShapeError(
+                f"packed buffer has {flat.size} elements, expected {self.total_count}"
+            )
+        for p, lo, hi in zip(self.params, self._offsets[:-1], self._offsets[1:]):
+            p.diff = flat[lo:hi].reshape(p.shape).astype(p.dtype, copy=False)
+
+    def pack_data(self) -> np.ndarray:
+        """Gather parameter *values* (used for replica-consistency checks)."""
+        out = np.empty(self.total_count, dtype=np.float32)
+        for p, lo, hi in zip(self.params, self._offsets[:-1], self._offsets[1:]):
+            out[lo:hi] = p.data.ravel()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # cost comparison (the packing ablation)
+    # ------------------------------------------------------------------ #
+    def allreduce_time_packed(self, cost_fn) -> float:
+        """One fused allreduce of the whole model. ``cost_fn(nbytes)``."""
+        return float(cost_fn(self.total_bytes))
+
+    def allreduce_time_per_layer(self, cost_fn) -> float:
+        """One allreduce per parameter tensor (the unpacked baseline)."""
+        return float(sum(cost_fn(nb) for nb in self.layer_bytes))

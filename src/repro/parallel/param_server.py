@@ -1,0 +1,165 @@
+"""Parameter-server synchronization — the baseline the paper rejects.
+
+Sec. V-A: "The parameter server scheme is unable to sufficiently exploit
+the bandwidth potential ... since the processor has only one network port,
+thus, receiving gradients simultaneously from a large number of workers
+could potentially become a bottleneck." This module makes that argument
+executable:
+
+* :class:`ParameterServerModel` — the timing model: the model is sharded
+  over S servers; each iteration every worker pushes its gradient shard to
+  each server and pulls fresh parameters back. Each server's single NIC
+  serializes its (p - s)/s incoming and outgoing transfers, which is the
+  ingestion bottleneck the paper describes.
+* :class:`ParameterServerTrainer` — a functional synchronous PS trainer
+  (real shards, real updates) proven equivalent to allreduce training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.frame.net import Net
+from repro.frame.solver import SGDSolver
+from repro.parallel.packing import GradientPacker
+from repro.topology.cost_model import NetworkModel, SW_COLLECTIVE_NETWORK
+
+
+@dataclass
+class ParameterServerModel:
+    """Timing model for sharded synchronous parameter-server sync.
+
+    Parameters
+    ----------
+    model_bytes:
+        Total gradient/parameter payload.
+    n_servers:
+        Server count (each holds ``model_bytes / n_servers``).
+    network:
+        Per-link curve; one NIC per node (the SW26010 reality).
+    """
+
+    model_bytes: float
+    n_servers: int = 8
+    network: NetworkModel = field(default_factory=lambda: SW_COLLECTIVE_NETWORK)
+
+    def sync_time(self, n_workers: int) -> float:
+        """One iteration's push + pull time.
+
+        Every worker sends each server its shard (and later pulls it
+        back). A server's NIC serializes its ``n_workers`` incoming shard
+        messages, then its ``n_workers`` outgoing ones; workers' sends to
+        *different* servers proceed in parallel, so the slowest server
+        paces the phase.
+        """
+        if n_workers <= 0:
+            raise ValueError("need at least one worker")
+        if n_workers == 1:
+            return 0.0
+        shard = self.model_bytes / self.n_servers
+        per_msg = self.network.ptp_time(shard)
+        # Ingest: n_workers shard messages serialized at one server NIC.
+        push = n_workers * per_msg
+        pull = n_workers * per_msg
+        return push + pull
+
+    def crossover_vs_allreduce(self, allreduce_time: Callable[[int], float], max_workers: int = 4096) -> int | None:
+        """Smallest power-of-two worker count where PS becomes slower."""
+        n = 2
+        while n <= max_workers:
+            if self.sync_time(n) > allreduce_time(n):
+                return n
+            n *= 2
+        return None
+
+
+@dataclass
+class PSTrainStats:
+    """Records of a functional parameter-server run."""
+
+    losses: list[float] = field(default_factory=list)
+    simulated_sync_s: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.losses)
+
+
+class ParameterServerTrainer:
+    """Functional synchronous parameter-server training.
+
+    The packed parameter vector is sharded over ``n_servers``; each
+    iteration the workers' gradient shards are averaged server-side, one
+    SGD update runs per shard, and the fresh parameters are broadcast
+    back. Numerically this *is* synchronous data-parallel SGD, so it must
+    match the allreduce trainer exactly — only the communication pattern
+    (and therefore the simulated time) differs.
+    """
+
+    def __init__(
+        self,
+        net_factory: Callable[[int], Net],
+        n_workers: int,
+        n_servers: int = 2,
+        base_lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if n_workers <= 0 or n_servers <= 0:
+            raise ValueError("workers and servers must be positive")
+        self.nets = [net_factory(rank) for rank in range(n_workers)]
+        self.packers = [GradientPacker(net.params) for net in self.nets]
+        self.n_servers = int(n_servers)
+        # One reference solver per worker applies the identical update.
+        self.solvers = [
+            SGDSolver(net, base_lr=base_lr, momentum=momentum, weight_decay=weight_decay)
+            for net in self.nets
+        ]
+        self.model = ParameterServerModel(
+            model_bytes=self.packers[0].total_bytes,
+            n_servers=n_servers,
+            network=network or SW_COLLECTIVE_NETWORK,
+        )
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.nets)
+
+    def step(self, n_iters: int = 1) -> PSTrainStats:
+        """Run synchronous PS iterations."""
+        stats = PSTrainStats()
+        n = self.packers[0].total_count
+        bounds = np.linspace(0, n, self.n_servers + 1).astype(int)
+        for _ in range(n_iters):
+            iter_losses = []
+            for net in self.nets:
+                net.zero_param_diffs()
+                losses = net.forward()
+                net.backward()
+                iter_losses.append(sum(losses.values()))
+            grads = [p.pack_diffs() for p in self.packers]
+            # Server-side shard averaging (push phase).
+            mean = np.zeros(n, dtype=np.float64)
+            for s in range(self.n_servers):
+                lo, hi = bounds[s], bounds[s + 1]
+                mean[lo:hi] = np.mean([g[lo:hi] for g in grads], axis=0)
+            # Workers pull the averaged gradient and update identically.
+            for packer, solver in zip(self.packers, self.solvers):
+                packer.unpack_diffs(mean.astype(np.float32))
+                solver.apply_update()
+                solver.iter += 1
+            stats.simulated_sync_s += self.model.sync_time(self.n_workers)
+            stats.losses.append(float(np.mean(iter_losses)))
+        return stats
+
+    def replicas_in_sync(self, atol: float = 0.0) -> bool:
+        """Whether all worker replicas hold identical parameters."""
+        ref = self.packers[0].pack_data()
+        return all(
+            np.allclose(p.pack_data(), ref, rtol=0, atol=atol)
+            for p in self.packers[1:]
+        )

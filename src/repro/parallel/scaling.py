@@ -1,0 +1,63 @@
+"""Scalability study (paper Figs. 10-11).
+
+Sweeps node counts for each (network, sub-mini-batch) configuration and
+reports weak-scaling speedups and communication fractions. Configurations
+default to the paper's: AlexNet with sub-mini-batch 64/128/256 and
+ResNet-50 with 32/64, on supernodes of 256 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.ssgd import SSGDIterationModel
+
+
+#: The node counts plotted in Fig. 10/11 (powers of two, 2..1024).
+PAPER_NODE_COUNTS = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (config, node-count) sample of the study."""
+
+    label: str
+    n_nodes: int
+    iteration_s: float
+    speedup: float
+    comm_fraction: float
+
+
+@dataclass
+class ScalingStudy:
+    """Collects scaling curves for several training configurations."""
+
+    node_counts: tuple[int, ...] = PAPER_NODE_COUNTS
+    configs: dict[str, SSGDIterationModel] = field(default_factory=dict)
+
+    def add_config(self, label: str, model: SSGDIterationModel) -> None:
+        """Register a (net, batch) configuration under ``label``."""
+        if label in self.configs:
+            raise ValueError(f"duplicate scaling config {label!r}")
+        self.configs[label] = model
+
+    def run(self) -> list[ScalingPoint]:
+        """Evaluate every config at every node count."""
+        points: list[ScalingPoint] = []
+        for label, model in self.configs.items():
+            for n in self.node_counts:
+                points.append(
+                    ScalingPoint(
+                        label=label,
+                        n_nodes=n,
+                        iteration_s=model.iteration_time(n),
+                        speedup=model.speedup(n),
+                        comm_fraction=model.comm_fraction(n),
+                    )
+                )
+        return points
+
+    def curve(self, label: str) -> list[ScalingPoint]:
+        """One config's points across all node counts."""
+        model = self.configs[label]
+        return [p for p in self.run() if p.label == label]

@@ -1,0 +1,139 @@
+"""Synchronous-SGD iteration timing model (Algorithm 1 at cluster scale).
+
+One training iteration on ``N`` nodes:
+
+1. each node's 4 CGs forward/backward a quarter of its sub-mini-batch
+   (``compute_s``, from the net's kernel plans or measured throughput);
+2. CG0 averages the four gradient copies (``local_reduce``);
+3. the packed gradient is allreduced across nodes (topology-aware RHD);
+4. every node applies the SGD update;
+5. the I/O thread's exposed prefetch time, if any, is added.
+
+Weak scaling: the global batch is ``N * sub_batch``, so
+``speedup(N) = N * t(1) / t(N)`` — with t(1) having no allreduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.io.prefetch import PrefetchPipeline
+from repro.parallel.threads import MultiCGRunner
+from repro.simmpi.collectives.analysis import stepwise_rhd_cost
+from repro.simmpi.comm import reduce_gamma
+from repro.topology.cost_model import NetworkModel, SW_COLLECTIVE_NETWORK
+from repro.topology.supernode import NODES_PER_SUPERNODE
+
+
+@dataclass
+class IterationBreakdown:
+    """Where one distributed iteration's time goes."""
+
+    compute_s: float
+    local_reduce_s: float
+    allreduce_s: float
+    update_s: float
+    io_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.compute_s
+            + self.local_reduce_s
+            + self.allreduce_s
+            + self.update_s
+            + self.io_s
+        )
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of iteration spent in inter-node communication."""
+        t = self.total_s
+        return self.allreduce_s / t if t > 0 else 0.0
+
+
+@dataclass
+class SSGDIterationModel:
+    """Prices distributed SSGD iterations for one (net, sub-batch) config.
+
+    Parameters
+    ----------
+    compute_s:
+        Node-local forward+backward time for the sub-mini-batch.
+    model_bytes:
+        Packed gradient payload (``net.param_bytes()``).
+    nodes_per_supernode:
+        Supernode size q (256 on TaihuLight).
+    network:
+        Collective network curve (defaults to the calibrated effective
+        collective model).
+    placement:
+        ``"round-robin"`` (swCaffe) or ``"block"`` (MPICH baseline) rank
+        numbering for the allreduce.
+    reduce_engine:
+        Where the post-gather summation runs ("cpe" = swCaffe, "mpe" =
+        stock MPI_Allreduce).
+    prefetch:
+        Optional I/O pipeline; when given, ``batch_io_bytes`` is the
+        per-node mini-batch payload read each iteration.
+    """
+
+    compute_s: float
+    model_bytes: float
+    nodes_per_supernode: int = NODES_PER_SUPERNODE
+    network: NetworkModel = field(default_factory=lambda: SW_COLLECTIVE_NETWORK)
+    placement: str = "round-robin"
+    reduce_engine: str = "cpe"
+    prefetch: PrefetchPipeline | None = None
+    batch_io_bytes: float = 0.0
+    runner: MultiCGRunner = field(default_factory=MultiCGRunner)
+
+    def allreduce_time(self, n_nodes: int) -> float:
+        """Inter-node gradient allreduce time at ``n_nodes``."""
+        if n_nodes <= 1:
+            return 0.0
+        gamma = reduce_gamma(self.reduce_engine)
+        return stepwise_rhd_cost(
+            self.model_bytes,
+            n_nodes,
+            self.nodes_per_supernode,
+            self.network,
+            gamma,
+            placement=self.placement,
+        )
+
+    def update_time(self) -> float:
+        """SGD update: stream params + grads + velocity (5x traffic)."""
+        return 5.0 * self.model_bytes / self.runner.params.dma_peak_bw
+
+    def breakdown(self, n_nodes: int) -> IterationBreakdown:
+        """Full iteration breakdown at ``n_nodes``."""
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        node = self.runner.iteration_time(self.compute_s, self.model_bytes)
+        io_s = 0.0
+        if self.prefetch is not None and self.batch_io_bytes > 0:
+            io_s = self.prefetch.iteration_io_time(
+                n_nodes, self.batch_io_bytes, self.compute_s
+            )
+        return IterationBreakdown(
+            compute_s=node.compute_s + node.sync_s,
+            local_reduce_s=node.local_reduce_s,
+            allreduce_s=self.allreduce_time(n_nodes),
+            update_s=self.update_time(),
+            io_s=io_s,
+        )
+
+    def iteration_time(self, n_nodes: int) -> float:
+        """End-to-end iteration seconds at ``n_nodes``."""
+        return self.breakdown(n_nodes).total_s
+
+    def comm_fraction(self, n_nodes: int) -> float:
+        """Fig. 11's quantity: allreduce share of the iteration."""
+        return self.breakdown(n_nodes).comm_fraction
+
+    def speedup(self, n_nodes: int) -> float:
+        """Fig. 10's quantity: weak-scaling speedup over one node."""
+        t1 = self.iteration_time(1)
+        tn = self.iteration_time(n_nodes)
+        return n_nodes * t1 / tn

@@ -1,0 +1,94 @@
+"""Single-node multi-threading over the four core groups (Algorithm 1).
+
+swCaffe starts one pthread per CG; each runs forward/backward on a quarter
+of the node's sub-mini-batch, synchronizing with a handshake
+(initiation-confirmation semaphore in shared memory) — the paper's
+``simple_sync()``. CG0 then sums the four gradient copies to form the
+node-local average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import SW26010Params, SW_PARAMS
+
+
+@dataclass(frozen=True)
+class NodeIterationTime:
+    """Breakdown of one node-local training iteration."""
+
+    compute_s: float
+    sync_s: float
+    local_reduce_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.sync_s + self.local_reduce_s
+
+
+class MultiCGRunner:
+    """Times Algorithm 1's node-local portion.
+
+    Parameters
+    ----------
+    params:
+        SW26010 constants.
+    sync_overhead_s:
+        One ``simple_sync`` handshake (semaphore store + spin in shared
+        memory, microsecond scale).
+    thread_spawn_s:
+        ``pthread_create``/``join`` cost per iteration (4 threads).
+    """
+
+    def __init__(
+        self,
+        params: SW26010Params | None = None,
+        sync_overhead_s: float = 2e-6,
+        thread_spawn_s: float = 5e-5,
+    ) -> None:
+        self.params = params or SW_PARAMS
+        self.sync_overhead_s = float(sync_overhead_s)
+        self.thread_spawn_s = float(thread_spawn_s)
+
+    def simple_sync_time(self, n_syncs: int = 1) -> float:
+        """Cost of ``n_syncs`` handshake barriers across the 4 CGs."""
+        if n_syncs < 0:
+            raise ValueError("n_syncs must be non-negative")
+        return n_syncs * self.sync_overhead_s
+
+    def local_reduce_time(self, model_bytes: float) -> float:
+        """CG0 sums the four per-CG gradient copies.
+
+        Streaming reduction: read 4 copies, write 1, through DMA at the
+        saturated per-CG bandwidth.
+        """
+        if model_bytes < 0:
+            raise ValueError("model_bytes must be non-negative")
+        traffic = 5.0 * model_bytes
+        return traffic / self.params.dma_peak_bw
+
+    def iteration_time(
+        self,
+        per_cg_compute_s: list[float] | float,
+        model_bytes: float,
+        n_layer_syncs: int = 0,
+    ) -> NodeIterationTime:
+        """Fork/join over the CGs plus the local gradient average.
+
+        ``per_cg_compute_s`` is either one number (symmetric CGs, the
+        common case) or a per-CG list (imbalance makes the node wait for
+        the slowest).
+        """
+        if isinstance(per_cg_compute_s, (int, float)):
+            compute = float(per_cg_compute_s)
+        else:
+            if not per_cg_compute_s:
+                raise ValueError("need at least one CG time")
+            compute = max(float(t) for t in per_cg_compute_s)
+        sync = self.thread_spawn_s + self.simple_sync_time(max(1, n_layer_syncs))
+        return NodeIterationTime(
+            compute_s=compute,
+            sync_s=sync,
+            local_reduce_s=self.local_reduce_time(model_bytes),
+        )

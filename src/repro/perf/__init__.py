@@ -1,0 +1,32 @@
+"""Baseline performance models and whole-net timing.
+
+The paper compares swCaffe on one SW26010 against Caffe+cuDNN on a K40m
+GPU and Caffe on a 12-core E5-2680 v3 (Table III, Figs. 8-9). We have
+neither device, so both baselines are per-layer roofline models built from
+their published peaks (Table I) plus the structural effects the paper
+highlights: the GPU pays PCIe input staging (dominant for AlexNet), both
+devices hide bandwidth-bound layers better than SW26010, and cuDNN's
+convolution efficiency depends mildly on channel count.
+"""
+
+from repro.perf.roofline import RooflineDevice
+from repro.perf.gpu_k40m import K40M_DEVICE, gpu_layer_time
+from repro.perf.cpu_host import CPU_DEVICE, cpu_layer_time
+from repro.perf.layer_cost import (
+    LayerTiming,
+    net_layer_timings,
+    net_iteration_time,
+    net_throughput,
+)
+
+__all__ = [
+    "RooflineDevice",
+    "K40M_DEVICE",
+    "CPU_DEVICE",
+    "gpu_layer_time",
+    "cpu_layer_time",
+    "LayerTiming",
+    "net_layer_timings",
+    "net_iteration_time",
+    "net_throughput",
+]

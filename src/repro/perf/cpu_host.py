@@ -1,0 +1,60 @@
+"""Host-CPU baseline model (Caffe on a 12-core E5-2680 v3).
+
+The paper's CPU column (Table III) reflects stock Caffe with a BLAS
+backend: convolution via im2col+SGEMM at a modest fraction of peak, and
+bandwidth-bound layers limited by the 68 GB/s memory system. No PCIe term —
+the data is already in host memory.
+"""
+
+from __future__ import annotations
+
+from repro.frame.layer import Layer
+from repro.frame.layers import ConvolutionLayer, DataLayer
+from repro.perf.roofline import RooflineDevice
+from repro.perf.workload import layer_workload
+from repro.utils.units import GB
+
+#: E5-2680 v3 roofline (footnote 2 of the paper; efficiencies calibrated
+#: to the Table III CPU column).
+CPU_DEVICE = RooflineDevice(
+    name="Intel E5-2680 v3 (12 cores)",
+    peak_flops=1.28e12,
+    mem_bandwidth=68 * GB,
+    launch_overhead_s=5e-6,
+    compute_efficiency=0.08,
+    bandwidth_efficiency=0.6,
+)
+
+#: BLAS conv efficiency saturates lower than cuDNN and needs larger
+#: channels to amortize im2col.
+CONV_EFF_MAX = 0.10
+CONV_EFF_HALF = 40.0
+#: 1x1 convolutions skip im2col but yield skinny SGEMMs.
+K1_FACTOR = 0.40
+#: Large kernels (11x11, 5x5) blow the cache blocking of the BLAS path.
+K_LARGE_FACTOR = 0.7
+
+
+def conv_efficiency(ni: int, no: int, k: int = 3) -> float:
+    """Sustained fraction of CPU peak for a conv layer's channels."""
+    c = (ni * no) ** 0.5
+    eff = CONV_EFF_MAX * c / (c + CONV_EFF_HALF)
+    if k == 1:
+        eff *= K1_FACTOR
+    elif k >= 5:
+        eff *= K_LARGE_FACTOR
+    return eff
+
+
+def cpu_layer_time(layer: Layer, direction: str) -> float:
+    """Simulated CPU time of one layer in one direction."""
+    if isinstance(layer, DataLayer):
+        return 0.0
+    wl = layer_workload(layer, direction)
+    if wl.flops == 0 and wl.bytes_moved == 0:
+        return 0.0
+    ce = None
+    if isinstance(layer, ConvolutionLayer):
+        ni = layer._bottom_shape[1]
+        ce = conv_efficiency(ni, layer.num_output, k=layer.kernel_size)
+    return CPU_DEVICE.kernel_time(wl.flops, wl.bytes_moved, compute_efficiency=ce)

@@ -1,0 +1,45 @@
+"""Generic roofline device model for the GPU/CPU baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RooflineDevice:
+    """A device characterized by compute and bandwidth rooflines.
+
+    Layer time = ``max(flops / (peak * eff), bytes / bandwidth) +
+    launch_overhead`` — the first-order model behind Figs. 8/9: a layer is
+    either compute-bound or bandwidth-bound, and every kernel launch pays a
+    fixed overhead (significant for the many tiny layers of deep nets).
+    """
+
+    name: str
+    peak_flops: float  # single-precision FLOP/s
+    mem_bandwidth: float  # bytes/s
+    launch_overhead_s: float  # per-kernel fixed cost
+    #: Default fraction of peak sustained by dense compute kernels.
+    compute_efficiency: float = 0.6
+    #: Default fraction of peak bandwidth sustained by streaming kernels.
+    bandwidth_efficiency: float = 0.75
+
+    def kernel_time(
+        self,
+        flops: float,
+        bytes_moved: float,
+        compute_efficiency: float | None = None,
+        bandwidth_efficiency: float | None = None,
+    ) -> float:
+        """Roofline time of one kernel."""
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes must be non-negative")
+        ce = self.compute_efficiency if compute_efficiency is None else compute_efficiency
+        be = (
+            self.bandwidth_efficiency
+            if bandwidth_efficiency is None
+            else bandwidth_efficiency
+        )
+        compute_s = flops / (self.peak_flops * ce) if flops else 0.0
+        mem_s = bytes_moved / (self.mem_bandwidth * be) if bytes_moved else 0.0
+        return max(compute_s, mem_s) + self.launch_overhead_s

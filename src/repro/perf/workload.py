@@ -1,0 +1,122 @@
+"""Layer workload extraction: FLOPs and memory traffic per direction.
+
+Device-independent arithmetic used by the GPU/CPU roofline baselines. The
+SW26010 path does *not* use these numbers directly — it prices the actual
+kernel plans — but tests cross-check that plan FLOP counts agree with the
+workloads here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frame.layer import Layer
+from repro.frame.layers import (
+    BatchNormLayer,
+    ConcatLayer,
+    ConvolutionLayer,
+    DropoutLayer,
+    EltwiseLayer,
+    InnerProductLayer,
+    LRNLayer,
+    LSTMLayer,
+    PoolingLayer,
+    ReLULayer,
+    SoftmaxLayer,
+    SoftmaxWithLossLayer,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One direction's arithmetic and traffic."""
+
+    flops: float
+    bytes_moved: float
+    kind: str  # "conv", "gemm", "bandwidth"
+
+
+def _conv_workload(layer: ConvolutionLayer, direction: str) -> Workload:
+    b, ni, h, w = layer._bottom_shape
+    k = layer.kernel_size
+    groups = getattr(layer, "groups", 1)
+    from repro.kernels.im2col import conv_out_dim
+
+    ho = conv_out_dim(h, k, layer.stride, layer.pad)
+    wo = conv_out_dim(w, k, layer.stride, layer.pad)
+    flops = 2.0 * b * layer.num_output * (ni // groups) * k * k * ho * wo
+    in_bytes = b * ni * h * w * 4.0
+    out_bytes = b * layer.num_output * ho * wo * 4.0
+    w_bytes = layer.num_output * (ni // groups) * k * k * 4.0
+    if direction == "forward":
+        return Workload(flops, in_bytes + out_bytes + w_bytes, "conv")
+    if direction == "backward":
+        # dW needs (x, dy); dX needs (w, dy): roughly 2x forward work when
+        # input gradients are required.
+        mult = 2.0 if layer.propagate_down else 1.0
+        return Workload(mult * flops, mult * (in_bytes + out_bytes) + w_bytes, "conv")
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def _ip_workload(layer: InnerProductLayer, direction: str) -> Workload:
+    b = layer._bottom_shape[0]
+    d = layer._flat_dim(layer._bottom_shape)
+    m = layer.num_output
+    flops = 2.0 * b * d * m
+    traffic = (b * d + b * m + d * m) * 4.0
+    if direction == "forward":
+        return Workload(flops, traffic, "gemm")
+    mult = 2.0 if layer.propagate_down else 1.0
+    return Workload(mult * flops, mult * traffic, "gemm")
+
+
+def _lstm_workload(layer: LSTMLayer, direction: str) -> Workload:
+    b, t, d = layer._shape
+    h = layer.hidden
+    flops = 2.0 * b * t * 4 * h * (d + h)
+    traffic = (b * t * (d + h) + 4 * h * (d + h)) * 4.0
+    if direction == "forward":
+        return Workload(flops, traffic, "gemm")
+    return Workload(2.0 * flops, 2.0 * traffic, "gemm")
+
+
+#: Streaming layers: (reads, writes, flops/element) multipliers per direction.
+_STREAMING: dict[type, tuple[float, float, float]] = {
+    ReLULayer: (1.0, 1.0, 1.0),
+    DropoutLayer: (1.0, 1.0, 2.0),
+    BatchNormLayer: (2.0, 1.0, 5.0),
+    LRNLayer: (2.0, 1.0, 10.0),
+    SoftmaxLayer: (1.0, 1.0, 4.0),
+    SoftmaxWithLossLayer: (1.0, 1.0, 5.0),
+    ConcatLayer: (1.0, 1.0, 0.0),
+    EltwiseLayer: (2.0, 1.0, 1.0),
+}
+
+
+def layer_workload(layer: Layer, direction: str) -> Workload:
+    """FLOPs and traffic of one layer in one direction.
+
+    Layers without compute (data, accuracy) report zero workload.
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError(f"direction must be forward/backward, got {direction!r}")
+    if isinstance(layer, ConvolutionLayer):
+        return _conv_workload(layer, direction)
+    if isinstance(layer, InnerProductLayer):
+        return _ip_workload(layer, direction)
+    if isinstance(layer, LSTMLayer):
+        return _lstm_workload(layer, direction)
+    if isinstance(layer, PoolingLayer):
+        plan = layer._plan
+        in_b = plan.batch * plan.channels * plan.height * plan.width * 4.0
+        out_b = plan.batch * plan.channels * plan.out_h * plan.out_w * 4.0
+        if direction == "backward" and not layer.propagate_down:
+            return Workload(0.0, 0.0, "bandwidth")
+        return Workload(out_b / 4.0 * plan.k * plan.k, in_b + out_b, "bandwidth")
+    for cls, (reads, writes, fpe) in _STREAMING.items():
+        if isinstance(layer, cls):
+            count = getattr(layer, "_count", 0)
+            if direction == "backward" and not layer.propagate_down and not layer.params:
+                return Workload(0.0, 0.0, "bandwidth")
+            return Workload(fpe * count, (reads + writes) * count * 4.0, "bandwidth")
+    return Workload(0.0, 0.0, "bandwidth")

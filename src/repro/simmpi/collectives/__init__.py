@@ -1,0 +1,22 @@
+"""Allreduce algorithm family over the simulated fabric."""
+
+from repro.simmpi.collectives.ring import ring_allreduce
+from repro.simmpi.collectives.binomial import binomial_allreduce
+from repro.simmpi.collectives.rhd import rhd_allreduce
+from repro.simmpi.collectives.topo_aware import topo_aware_allreduce, make_topo_aware_comm
+from repro.simmpi.collectives.analysis import (
+    original_allreduce_cost,
+    improved_allreduce_cost,
+    ring_allreduce_cost,
+)
+
+__all__ = [
+    "ring_allreduce",
+    "binomial_allreduce",
+    "rhd_allreduce",
+    "topo_aware_allreduce",
+    "make_topo_aware_comm",
+    "original_allreduce_cost",
+    "improved_allreduce_cost",
+    "ring_allreduce_cost",
+]

@@ -1,0 +1,135 @@
+"""Recursive halving/doubling allreduce (Rabenseifner / MPICH).
+
+The paper's baseline (Sec. V-A): an allgather phase after a reduce-scatter
+phase, both log(p)-deep:
+
+* **Reduce-scatter, recursive halving** — step 1 exchanges n/2 bytes with
+  the rank a logical distance p/2 away, step 2 exchanges n/4 at distance
+  p/4, and so on: traffic *shrinks* as the algorithm proceeds.
+* **Allgather, recursive doubling** — the mirror image: distances 1, 2, 4,
+  ... with traffic *growing* n/p, 2n/p, ....
+
+Whether a step's partners sit in the same supernode is decided entirely by
+the communicator's :class:`~repro.simmpi.process.Placement`; running this
+exact schedule over the round-robin placement *is* the paper's improved
+algorithm (see :mod:`repro.simmpi.collectives.topo_aware`).
+
+Non-power-of-two rank counts use the standard MPICH fold: the first
+``2 * (p - 2^k)`` ranks pre-combine pairwise so a power-of-two subset runs
+the core algorithm, and the folded ranks receive the result afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi.comm import CollectiveResult, SimComm
+from repro.simmpi.collectives.reduce_ops import block_offsets, check_buffers, finalize
+
+
+def _largest_pow2_leq(p: int) -> int:
+    k = 1
+    while k * 2 <= p:
+        k *= 2
+    return k
+
+
+def rhd_allreduce(
+    comm: SimComm, buffers: list[np.ndarray], *, average: bool = False
+) -> CollectiveResult:
+    """In-place recursive halving/doubling allreduce."""
+    p = comm.p
+    if len(buffers) != p:
+        raise ValueError(f"expected {p} buffers, got {len(buffers)}")
+    n, itemsize = check_buffers(buffers)
+    result = CollectiveResult()
+    work = [np.array(b, dtype=np.float64, copy=True).ravel() for b in buffers]
+    if p == 1:
+        finalize(buffers, work, average)
+        return result
+    nbytes_full = float(n * itemsize)
+
+    # --- fold down to a power of two -------------------------------------
+    k = _largest_pow2_leq(p)
+    r = p - k
+    if r > 0:
+        pairs = [(2 * i, 2 * i + 1, nbytes_full) for i in range(r)]
+        for i in range(r):
+            work[2 * i] = work[2 * i] + work[2 * i + 1]
+        comm.account_step(result, pairs, reduce_bytes=nbytes_full)
+        active = [2 * i for i in range(r)] + list(range(2 * r, p))
+    else:
+        active = list(range(p))
+
+    # --- reduce-scatter: recursive halving --------------------------------
+    off = block_offsets(n, k)
+
+    def span_bytes(lo: int, hi: int) -> float:
+        return float((off[hi] - off[lo]) * itemsize)
+
+    lo = [0] * k
+    hi = [k] * k
+    d = k // 2
+    while d >= 1:
+        pairs = []
+        reduces: list[tuple[int, int, int, np.ndarray]] = []  # (v, lo, hi, data)
+        max_msg = 0.0
+        max_reduce = 0.0
+        for v in range(k):
+            w = v ^ d
+            if w < v:
+                continue
+            # v and w share [lo, hi); v (bit clear) keeps the lower half.
+            assert lo[v] == lo[w] and hi[v] == hi[w]
+            mid = (lo[v] + hi[v]) // 2
+            send_v = span_bytes(mid, hi[v])  # v's upper half goes to w
+            send_w = span_bytes(lo[v], mid)  # w's lower half goes to v
+            msg = max(send_v, send_w)
+            pairs.append((active[v], active[w], msg))
+            max_msg = max(max_msg, msg)
+            # Data exchanged, then each side reduces its kept half.
+            v_keep = slice(off[lo[v]], off[mid])
+            w_keep = slice(off[mid], off[hi[v]])
+            reduces.append((v, lo[v], mid, work[active[w]][v_keep].copy()))
+            reduces.append((w, mid, hi[v], work[active[v]][w_keep].copy()))
+            max_reduce = max(max_reduce, send_v, send_w)
+        for v, new_lo, new_hi, data in reduces:
+            work[active[v]][off[new_lo] : off[new_hi]] += data
+            lo[v], hi[v] = new_lo, new_hi
+        comm.account_step(result, pairs, reduce_bytes=max_reduce)
+        d //= 2
+
+    # --- allgather: recursive doubling ------------------------------------
+    d = 1
+    while d < k:
+        pairs = []
+        copies: list[tuple[int, int, int, np.ndarray]] = []
+        for v in range(k):
+            w = v ^ d
+            if w < v:
+                continue
+            send_v = span_bytes(lo[v], hi[v])
+            send_w = span_bytes(lo[w], hi[w])
+            pairs.append((active[v], active[w], max(send_v, send_w)))
+            copies.append((v, lo[w], hi[w], work[active[w]][off[lo[w]] : off[hi[w]]].copy()))
+            copies.append((w, lo[v], hi[v], work[active[v]][off[lo[v]] : off[hi[v]]].copy()))
+        merged: dict[int, tuple[int, int]] = {}
+        for v, got_lo, got_hi, data in copies:
+            work[active[v]][off[got_lo] : off[got_hi]] = data
+            new_lo = min(lo[v], got_lo)
+            new_hi = max(hi[v], got_hi)
+            merged[v] = (new_lo, new_hi)
+        for v, (nlo, nhi) in merged.items():
+            lo[v], hi[v] = nlo, nhi
+        comm.account_step(result, pairs)
+        d *= 2
+
+    # --- unfold ------------------------------------------------------------
+    if r > 0:
+        pairs = [(2 * i, 2 * i + 1, nbytes_full) for i in range(r)]
+        for i in range(r):
+            work[2 * i + 1] = work[2 * i].copy()
+        comm.account_step(result, pairs)
+
+    finalize(buffers, work, average)
+    return result

@@ -1,0 +1,60 @@
+"""Size-tuned allreduce dispatch (the MPICH policy the paper builds on).
+
+Thakur et al.'s MPICH — the baseline swCaffe improves — switches allreduce
+algorithms by message size: latency-bound small messages use a
+recursive-doubling/binomial scheme (few steps, whole vector), large
+messages use Rabenseifner's reduce-scatter + allgather (minimum bandwidth
+term). swCaffe's contribution composes with either: the round-robin
+renumbering applies to whatever schedule runs.
+
+:func:`tuned_allreduce` implements the dispatcher over this package's
+executed collectives; the crossover threshold follows the alpha/beta
+balance of the communicator's cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi.comm import CollectiveResult, SimComm
+from repro.simmpi.collectives.binomial import binomial_allreduce
+from repro.simmpi.collectives.rhd import rhd_allreduce
+
+#: Fallback threshold (bytes) when the communicator has no linear cost
+#: model to derive one from — MPICH's classic default is 2 KB.
+DEFAULT_THRESHOLD = 2048.0
+
+
+def crossover_bytes(comm: SimComm) -> float:
+    """Message size where RHD starts beating the binomial tree.
+
+    Analytically (flat beta, power-of-two p): binomial costs
+    ``2 log(p) (alpha + n beta)``; RHD costs
+    ``2 log(p) alpha + 2 n beta (p-1)/p``. RHD wins when
+    ``n beta (2 log p - 2 (p-1)/p) > 0`` — i.e. for every n when p > 2 —
+    *except* that RHD's extra per-step bookkeeping and its reduction term
+    matter at tiny n. With the alpha/beta model the practical crossover is
+    where the bandwidth saving exceeds one extra latency:
+    ``n* = alpha / (beta1 * (2 log p - 2 (p-1)/p))`` (clamped to the
+    MPICH-style default when no model is attached).
+    """
+    if comm.cost is None:
+        return DEFAULT_THRESHOLD
+    p = comm.p
+    if p <= 2:
+        return float("inf")  # schedules coincide; prefer the simpler tree
+    logp = np.log2(p)
+    gain_per_byte = comm.cost.beta1 * (2 * logp - 2 * (p - 1) / p)
+    if gain_per_byte <= 0:
+        return float("inf")
+    return comm.cost.alpha / gain_per_byte
+
+
+def tuned_allreduce(
+    comm: SimComm, buffers: list[np.ndarray], *, average: bool = False
+) -> CollectiveResult:
+    """Dispatch to binomial (small) or RHD (large) by message size."""
+    nbytes = buffers[0].size * buffers[0].itemsize if buffers else 0
+    if nbytes <= crossover_bytes(comm):
+        return binomial_allreduce(comm, buffers, average=average)
+    return rhd_allreduce(comm, buffers, average=average)

@@ -1,0 +1,51 @@
+"""Logical rank numbering schemes (paper Sec. V-A, Fig. 7).
+
+* :func:`block_placement` — the default MPI numbering: ranks 0..q-1 fill
+  supernode 0, q..2q-1 fill supernode 1, and so on. Under recursive
+  halving/doubling this sends the *largest* messages across the
+  over-subscribed central network (Eqs. 3-4).
+
+* :func:`round_robin_placement` — the paper's improvement: logical rank L
+  lives in supernode ``L mod s`` (s = number of supernodes), so steps whose
+  logical distance is a multiple of s stay inside a supernode. Since RHD
+  step distances are p/2, p/4, ..., 1, only the log(p/q) *smallest-message*
+  steps cross supernodes (Eqs. 5-6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CommunicatorError
+from repro.simmpi.process import Placement
+
+
+def _check(p: int, q: int) -> int:
+    if p <= 0 or q <= 0:
+        raise CommunicatorError("p and q must be positive")
+    if p % q != 0:
+        raise CommunicatorError(
+            f"rank count p={p} must be a multiple of supernode size q={q}"
+        )
+    return p // q
+
+
+def block_placement(p: int, q: int) -> Placement:
+    """Adjacent numbering: logical rank L -> physical node L.
+
+    Physical node n lives in supernode ``n // q``, so logical ranks are
+    packed supernode by supernode.
+    """
+    _check(p, q)
+    return Placement(physical=tuple(range(p)), name="block")
+
+
+def round_robin_placement(p: int, q: int) -> Placement:
+    """Round-robin numbering across supernodes.
+
+    Logical rank L -> physical node ``(L mod s) * q + (L div s)`` where
+    ``s = p // q``: logical ranks 0, s, 2s, ... fill supernode 0 in order,
+    ranks 1, s+1, ... fill supernode 1, matching the paper's example
+    ("nodes numbered 0,4,8,... belong to supernode 0").
+    """
+    s = _check(p, q)
+    physical = tuple((L % s) * q + (L // s) for L in range(p))
+    return Placement(physical=physical, name="round-robin")

@@ -1,0 +1,19 @@
+"""Infiniband FDR reference network model (Fig. 6 comparison curve).
+
+FDR 4x links run at 56 Gbps signalling = 54.3 Gbps data rate ~ 6.8 GB/s.
+Fig. 6 shows IB reaching its peak quickly (low ``n_half``) with sub-
+microsecond startup latency, so IB beats the Sunway network on mid-size
+messages even though the Sunway link peaks higher.
+"""
+
+from repro.topology.cost_model import NetworkModel
+from repro.utils.units import GB, US
+
+#: Infiniband FDR curve used as the comparison baseline in Fig. 6.
+INFINIBAND_FDR = NetworkModel(
+    name="Infiniband FDR",
+    alpha=0.7 * US,
+    peak_bw_uni=6.8 * GB,
+    peak_bw_bi=12.5 * GB,
+    n_half=8 * 1024.0,
+)

@@ -1,0 +1,96 @@
+"""Link-level contention model for the two-level TaihuLight network.
+
+The cost models above assume cross-supernode traffic runs at 1/4 rate.
+This module derives that factor instead of assuming it: each supernode's
+uplink into the central switching network is provisioned with a quarter of
+the aggregate node bandwidth (Sec. II-B: the central network "is designed
+to use only a quarter of the potential bandwidth"), the supernode-local
+network is non-blocking, and routes are static destination-based. Given a
+set of concurrent flows, the model computes each flow's slowdown from the
+most congested link on its path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.topology.cost_model import OVERSUBSCRIPTION
+from repro.topology.fabric import TaihuLightFabric
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One concurrent point-to-point transfer."""
+
+    src: int
+    dst: int
+    nbytes: float
+
+
+class ContentionModel:
+    """Per-flow slowdowns under static destination-based routing.
+
+    Links modeled per supernode: a non-blocking local crossbar (one full-
+    rate port per node) plus an uplink and a downlink into the central
+    switch, each with capacity ``q / OVERSUBSCRIPTION`` full-rate streams.
+    A flow's rate is the full node rate divided by its path's worst
+    contention factor.
+    """
+
+    def __init__(self, fabric: TaihuLightFabric) -> None:
+        self.fabric = fabric
+        self.uplink_capacity = fabric.nodes_per_supernode / OVERSUBSCRIPTION
+
+    def slowdowns(self, flows: list[Flow]) -> list[float]:
+        """Contention factor (>= 1) for each flow, in order."""
+        for f in flows:
+            self.fabric._check(f.src)
+            self.fabric._check(f.dst)
+        # Node ports: each node's NIC serializes its own flows.
+        src_load = Counter(f.src for f in flows)
+        dst_load = Counter(f.dst for f in flows)
+        # Supernode uplinks/downlinks carry only cross traffic.
+        up_load: Counter = Counter()
+        down_load: Counter = Counter()
+        for f in flows:
+            if not self.fabric.same_supernode(f.src, f.dst):
+                up_load[self.fabric.supernode_of(f.src)] += 1
+                down_load[self.fabric.supernode_of(f.dst)] += 1
+        out = []
+        for f in flows:
+            factor = float(max(src_load[f.src], dst_load[f.dst]))
+            if not self.fabric.same_supernode(f.src, f.dst):
+                s_up = self.fabric.supernode_of(f.src)
+                s_down = self.fabric.supernode_of(f.dst)
+                factor = max(
+                    factor,
+                    up_load[s_up] / self.uplink_capacity,
+                    down_load[s_down] / self.uplink_capacity,
+                )
+            out.append(max(factor, 1.0))
+        return out
+
+    def step_time(self, flows: list[Flow]) -> float:
+        """Duration of one lockstep phase: the slowest flow finishes last.
+
+        Each flow's base time is its bytes at the full link curve; the
+        contention factor divides its achieved bandwidth.
+        """
+        if not flows:
+            return 0.0
+        times = []
+        for f, slow in zip(flows, self.slowdowns(flows)):
+            base = self.fabric.network.ptp_time(f.nbytes)
+            alpha = self.fabric.network.alpha
+            times.append(alpha + (base - alpha) * slow)
+        return max(times)
+
+    def derived_oversubscription(self) -> float:
+        """The cross-supernode slowdown when every node sends across —
+        the situation the paper's beta2 models. Must equal 4."""
+        q = self.fabric.nodes_per_supernode
+        if self.fabric.n_supernodes < 2:
+            raise ValueError("need at least two supernodes")
+        flows = [Flow(src=i, dst=q + i, nbytes=1.0) for i in range(q)]
+        return max(self.slowdowns(flows))

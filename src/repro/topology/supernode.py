@@ -1,0 +1,33 @@
+"""Supernode grouping: 256 nodes on a fully provisioned local network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.node import ComputeNode
+
+#: Nodes per supernode on TaihuLight (Sec. II-B).
+NODES_PER_SUPERNODE = 256
+
+
+@dataclass
+class Supernode:
+    """A group of nodes sharing the high-bandwidth bottom-level network."""
+
+    supernode_id: int
+    nodes: list[ComputeNode] = field(default_factory=list)
+
+    def add_node(self, node: ComputeNode) -> None:
+        """Attach a node; its supernode_id must match."""
+        if node.supernode_id != self.supernode_id:
+            raise ValueError(
+                f"node {node.node_id} belongs to supernode {node.supernode_id}, "
+                f"not {self.supernode_id}"
+            )
+        self.nodes.append(node)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: ComputeNode) -> bool:
+        return node.supernode_id == self.supernode_id

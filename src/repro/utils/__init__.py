@@ -1,0 +1,37 @@
+"""Shared utilities: units, deterministic RNG, table rendering, logging."""
+
+from repro.utils.units import (
+    KiB,
+    MiB,
+    GiB,
+    GB,
+    MB,
+    KB,
+    US,
+    MS,
+    format_bytes,
+    format_time,
+    format_rate,
+)
+from repro.utils.rng import seeded_rng, derive_rng
+from repro.utils.tables import Table
+from repro.utils.logging import configure, get_logger
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "GB",
+    "MB",
+    "KB",
+    "US",
+    "MS",
+    "format_bytes",
+    "format_time",
+    "format_rate",
+    "seeded_rng",
+    "derive_rng",
+    "Table",
+    "configure",
+    "get_logger",
+]

@@ -1,0 +1,81 @@
+"""Minimal ASCII plotting for the figure harnesses.
+
+The paper's figures are log-log curves; a dependency-free character plot
+lets ``python -m repro.harness.report`` show their *shape*, not just rows
+of numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Characters cycled across series.
+MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class PlotSeries:
+    """One named curve."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scale plots need positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: list[PlotSeries],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render curves on a character grid with axis annotations."""
+    if not series or any(len(s.x) != len(s.y) or not s.x for s in series):
+        raise ValueError("need non-empty series with matching x/y lengths")
+    xs = [_transform(x, logx) for s in series for x in s.x]
+    ys = [_transform(y, logy) for s in series for y in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = MARKERS[si % len(MARKERS)]
+        for x, y in zip(s.x, s.y):
+            cx = round((_transform(x, logx) - x_lo) / x_span * (width - 1))
+            cy = round((_transform(y, logy) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - cy][cx] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top_lab = f"{10 ** y_hi if logy else y_hi:.4g}"
+    bot_lab = f"{10 ** y_lo if logy else y_lo:.4g}"
+    pad = max(len(top_lab), len(bot_lab))
+    for i, row in enumerate(grid):
+        label = top_lab if i == 0 else (bot_lab if i == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    left = f"{10 ** x_lo if logx else x_lo:.4g}"
+    right = f"{10 ** x_hi if logx else x_hi:.4g}"
+    gap = width - len(left) - len(right)
+    lines.append(" " * (pad + 2) + left + " " * max(1, gap) + right)
+    if xlabel or ylabel:
+        lines.append(" " * (pad + 2) + f"x: {xlabel}   y: {ylabel}".rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Package logging helpers.
+
+Simulation runs are long; harnesses and trainers log progress through a
+package-namespaced logger so applications control verbosity the standard
+way (``logging.getLogger("repro").setLevel(...)``).
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Root logger name for the whole package.
+ROOT = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the package namespace.
+
+    ``get_logger("harness.fig10")`` -> logger ``repro.harness.fig10``.
+    """
+    return logging.getLogger(ROOT if not name else f"{ROOT}.{name}")
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Attach a simple stderr handler to the package logger (idempotent)."""
+    logger = logging.getLogger(ROOT)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

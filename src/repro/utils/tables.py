@@ -1,0 +1,70 @@
+"""Plain-text table rendering for the experiment harnesses.
+
+The harness modules reproduce the paper's tables/figures as rows of numbers;
+:class:`Table` gives them a uniform, dependency-free way to print aligned
+output and to serialize rows for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    title:
+        Optional caption printed above the table.
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; cells are stringified with sensible float formatting."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Return the aligned text rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,46 @@
+"""Tests for the ASCII plot helper."""
+
+import pytest
+
+from repro.utils.ascii_plot import MARKERS, PlotSeries, ascii_plot
+
+
+def series(label="s", x=(1, 10, 100), y=(1, 10, 100)):
+    return PlotSeries(label=label, x=tuple(x), y=tuple(y))
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot([series("alpha"), series("beta", y=(2, 20, 200))])
+        assert MARKERS[0] in text and MARKERS[1] in text
+        assert "alpha" in text and "beta" in text
+
+    def test_loglog_diagonal(self):
+        # A power law renders as a straight diagonal in log-log: the marker
+        # column should increase with the row from bottom to top.
+        text = ascii_plot([series()], logx=True, logy=True, width=30, height=10)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        cols = [r.index("o") for r in rows if "o" in r]
+        # Rows render top (max y) to bottom (min y); with y increasing in
+        # x, the marker column decreases going down.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_axis_labels(self):
+        text = ascii_plot(
+            [series()], logx=True, title="T", xlabel="nodes", ylabel="speedup"
+        )
+        assert text.startswith("T")
+        assert "x: nodes" in text and "y: speedup" in text
+        assert "100" in text  # max labels rendered
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot([series(y=(5, 5, 5))])
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            ascii_plot([PlotSeries("s", (1, 2), (1,))])
+        with pytest.raises(ValueError):
+            ascii_plot([series(y=(0, 1, 2))], logy=True)

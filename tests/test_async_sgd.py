@@ -1,0 +1,92 @@
+"""Tests for the asynchronous (stale-gradient) SGD baseline."""
+
+import numpy as np
+import pytest
+
+from repro.frame.layers import DataLayer, InnerProductLayer, SoftmaxWithLossLayer
+from repro.frame.net import Net
+from repro.parallel.async_sgd import AsyncSGDTrainer
+from repro.io.dataset import SyntheticImageNet
+from repro.utils.rng import seeded_rng
+
+
+def net_factory(seed=51):
+    def build():
+        src = SyntheticImageNet(num_classes=4, sample_shape=(12,), noise=0.2, seed=6)
+        net = Net("async")
+        net.add(DataLayer("data", src, 16), bottoms=[], tops=["data", "label"])
+        net.add(InnerProductLayer("ip", 4, rng=seeded_rng(seed)), ["data"], ["logits"])
+        net.add(SoftmaxWithLossLayer("loss"), ["logits", "label"], ["loss"])
+        return net
+
+    return build
+
+
+class TestAsyncSGD:
+    def test_single_worker_is_sequential_sgd(self):
+        trainer = AsyncSGDTrainer(net_factory(), n_workers=1, base_lr=0.05)
+        stats = trainer.step(40)
+        assert stats.mean_staleness == 0.0
+        assert stats.applied_updates == 40
+        assert np.mean(stats.losses[-5:]) < np.mean(stats.losses[:5])
+
+    def test_staleness_equals_pipeline_depth(self):
+        trainer = AsyncSGDTrainer(net_factory(), n_workers=4, base_lr=0.02)
+        stats = trainer.step(40)
+        # Steady-state delay is n_workers - 1 = 3; the warmup ramp
+        # (0, 1, 2) pulls the mean slightly below it.
+        assert 2.5 < stats.mean_staleness <= 3.0
+        assert stats.applied_updates == 40 - 3
+
+    def test_still_learns_with_moderate_staleness(self):
+        trainer = AsyncSGDTrainer(net_factory(), n_workers=4, base_lr=0.02)
+        stats = trainer.step(60)
+        assert np.mean(stats.losses[-5:]) < np.mean(stats.losses[:5])
+
+    def test_staleness_destabilizes_quadratic(self):
+        """The classic delayed-SGD instability: on a quadratic objective,
+        a learning rate well inside sequential SGD's stability region blows
+        up once gradients arrive tau steps late (stability shrinks roughly
+        as 1/tau) — the convergence risk that made the paper pick the
+        synchronous scheme."""
+
+        def quad_factory():
+            from repro.frame.layers import EuclideanLossLayer
+
+            class FixedRegression:
+                sample_shape = (8,)
+                label_shape = (8,)
+
+                def __init__(self):
+                    rng = np.random.default_rng(2)
+                    self.x = rng.normal(size=(16, 8)).astype(np.float32)
+                    # Target: a fixed linear map of the input.
+                    self.w = rng.normal(size=(8, 8)).astype(np.float32)
+
+                def next_batch(self, batch_size):
+                    # Targets returned through the label top.
+                    return self.x, (self.x @ self.w)
+
+            src = FixedRegression()
+            net = Net("quad")
+            net.add(DataLayer("data", src, 16), bottoms=[], tops=["data", "target"])
+            net.add(
+                InnerProductLayer("ip", 8, bias=False, rng=seeded_rng(3)),
+                ["data"],
+                ["pred"],
+            )
+            net.add(EuclideanLossLayer("loss"), ["pred", "target"], ["loss"])
+            return net
+
+        lr = 0.55  # stable sequentially, unstable at delay 15
+        with np.errstate(over="ignore", invalid="ignore"):
+            fresh = AsyncSGDTrainer(quad_factory, n_workers=1, base_lr=lr).step(80)
+            stale = AsyncSGDTrainer(quad_factory, n_workers=16, base_lr=lr).step(80)
+        fresh_tail = np.mean(fresh.losses[-10:])
+        stale_tail = np.mean(stale.losses[-10:])
+        assert fresh_tail < fresh.losses[0]  # sequential converges
+        assert (not np.isfinite(stale_tail)) or stale_tail > 10 * fresh_tail
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncSGDTrainer(net_factory(), n_workers=0)

@@ -1,0 +1,114 @@
+"""Tests for the CLI entry point and multi-loss (auxiliary head) support."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import EXPERIMENTS, NETWORKS, main
+from repro.frame.layers import (
+    DataLayer,
+    EuclideanLossLayer,
+    InnerProductLayer,
+    SoftmaxWithLossLayer,
+)
+from repro.frame.net import Net
+from repro.frame.solver import SGDSolver
+from repro.io.dataset import SyntheticImageNet
+from repro.utils.rng import seeded_rng
+
+
+class TestCLI:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "resnet50" in out
+
+    def test_experiment_runs_light_harness(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "SW26010" in capsys.readouterr().out
+
+    def test_experiment_validates_name(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_profile_lenet(self, capsys):
+        assert main(["profile", "lenet", "8"]) == 0
+        assert "bottleneck" in capsys.readouterr().out
+
+    def test_train(self, capsys):
+        assert main(["train", "3"]) == 0
+        assert "trained LeNet" in capsys.readouterr().out
+
+    def test_registries_complete(self):
+        assert "ablations" in EXPERIMENTS
+        assert set(NETWORKS) >= {"lenet", "alexnet", "vgg16", "resnet50", "googlenet"}
+
+
+class TestMultiLoss:
+    def build(self, aux_weight):
+        src = SyntheticImageNet(num_classes=3, sample_shape=(6,), noise=0.2, seed=13)
+        net = Net("multiloss")
+        net.add(DataLayer("data", src, 8), [], ["data", "label"])
+        net.add(InnerProductLayer("trunk", 8, rng=seeded_rng(1)), ["data"], ["trunk"])
+        net.add(InnerProductLayer("head_a", 3, rng=seeded_rng(2)), ["trunk"], ["logits_a"])
+        net.add(InnerProductLayer("head_b", 3, rng=seeded_rng(3)), ["trunk"], ["logits_b"])
+        main_loss = SoftmaxWithLossLayer("loss_a")
+        net.add(main_loss, ["logits_a", "label"], ["loss_a"])
+        aux = SoftmaxWithLossLayer("loss_b")
+        aux.loss_weight = aux_weight
+        net.add(aux, ["logits_b", "label"], ["loss_b"])
+        return net
+
+    def test_reported_losses_are_weighted(self):
+        net = self.build(aux_weight=0.3)
+        losses = net.forward()
+        raw_b = float(net.blobs["loss_b"].data[0])
+        assert losses["loss_b"] == pytest.approx(0.3 * raw_b, rel=1e-6)
+
+    def test_zero_weight_contributes_no_gradient(self):
+        net = self.build(aux_weight=0.0)
+        net.forward()
+        net.backward()
+        head_b = net.layer_by_name("head_b")
+        assert float(np.abs(head_b.weight.diff).sum()) == 0.0
+        head_a = net.layer_by_name("head_a")
+        assert float(np.abs(head_a.weight.diff).sum()) > 0.0
+
+    def test_aux_gradient_scales_linearly(self):
+        grads = {}
+        for w in (0.3, 0.6):
+            net = self.build(aux_weight=w)
+            net.forward()
+            net.backward()
+            grads[w] = net.layer_by_name("head_b").weight.diff.copy()
+        np.testing.assert_allclose(grads[0.6], 2 * grads[0.3], rtol=1e-5)
+
+    def test_trunk_receives_both_losses(self):
+        # Trunk gradient with both heads != gradient with aux disabled.
+        with_aux = self.build(aux_weight=1.0)
+        with_aux.forward(); with_aux.backward()
+        g_with = with_aux.layer_by_name("trunk").weight.diff.copy()
+        without = self.build(aux_weight=0.0)
+        without.forward(); without.backward()
+        g_without = without.layer_by_name("trunk").weight.diff.copy()
+        assert not np.allclose(g_with, g_without)
+
+    def test_googlenet_aux_heads_build_and_backprop(self):
+        from repro.frame.model_zoo import googlenet
+
+        net = googlenet.build(batch_size=1, aux_heads=True)
+        loss_layers = [l for l in net.layers if getattr(l, "is_loss", False)]
+        assert len(loss_layers) == 3
+        weights = sorted(l.loss_weight for l in loss_layers)
+        assert weights == [0.3, 0.3, 1.0]
+
+    def test_multiloss_training_descends(self):
+        net = self.build(aux_weight=0.3)
+        solver = SGDSolver(net, base_lr=0.05)
+        stats = solver.step(20)
+        assert stats.losses[-1] < stats.losses[0]

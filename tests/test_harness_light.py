@@ -1,0 +1,129 @@
+"""Shape tests for the cheap experiment harnesses (Table I, Figs. 2/6/7).
+
+Each test pins a qualitative claim of the corresponding paper artifact —
+the "who wins, where are the knees" facts a reproduction must preserve.
+"""
+
+import pytest
+
+from repro.harness import fig2_dma, fig6_network, fig7_allreduce, table1_specs
+
+
+class TestTable1:
+    def test_three_processors(self):
+        rows = table1_specs.generate()
+        assert [r["name"] for r in rows] == ["SW26010", "NVIDIA K40m", "Intel KNL"]
+
+    def test_values_match_paper(self):
+        rows = {r["name"]: r for r in table1_specs.generate()}
+        sw = rows["SW26010"]
+        assert sw["bandwidth_gbs"] == pytest.approx(128)
+        assert sw["float_tflops"] == pytest.approx(3.02)
+        assert rows["NVIDIA K40m"]["double_tflops"] == pytest.approx(1.43)
+        assert rows["Intel KNL"]["float_tflops"] == pytest.approx(6.92)
+
+    def test_render_contains_rows(self):
+        text = table1_specs.render()
+        assert "SW26010" in text and "KNL" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return fig2_dma.generate()
+
+    def test_series_structure(self, panels):
+        assert {s.label for s in panels["continuous"]} == {
+            "1CPE", "8CPE", "16CPE", "32CPE", "64CPE",
+        }
+        assert len(panels["continuous"][0].x) == len(fig2_dma.CONTINUOUS_SIZES)
+
+    def test_64cpe_saturates_near_28(self, panels):
+        series = {s.label: s for s in panels["continuous"]}
+        assert 26 <= series["64CPE"].bandwidth_gbs[-1] <= 28.5
+
+    def test_more_cpes_more_bandwidth(self, panels):
+        series = {s.label: s for s in panels["continuous"]}
+        for i in range(len(fig2_dma.CONTINUOUS_SIZES)):
+            assert (
+                series["1CPE"].bandwidth_gbs[i]
+                < series["8CPE"].bandwidth_gbs[i]
+                < series["64CPE"].bandwidth_gbs[i]
+            )
+
+    def test_strided_collapse_below_256b(self, panels):
+        series = {s.label: s for s in panels["strided"]}
+        blocks = fig2_dma.STRIDED_BLOCKS
+        bw = dict(zip(blocks, series["64CPE"].bandwidth_gbs))
+        assert bw[4] < 0.1 * bw[16384]
+        assert bw[256] > 0.5 * bw[16384]
+
+    def test_render(self):
+        text = fig2_dma.render()
+        assert "continuous DMA" in text and "strided DMA" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return fig6_network.generate()
+
+    def test_sw_peaks_above_infiniband(self, curves):
+        by_label = {c.label: c for c in curves["bandwidth"]}
+        assert by_label["SW uni-directional"].y[-1] > by_label["Infiniband uni-direction"].y[-1]
+
+    def test_oversubscription_quarter(self, curves):
+        by_label = {c.label: c for c in curves["bandwidth"]}
+        full = by_label["SW uni-directional"].y[-1]
+        over = by_label["SW uni-dir over-subscribed"].y[-1]
+        assert over == pytest.approx(full / 4)
+
+    def test_sw_latency_worse_beyond_2kb(self, curves):
+        by_label = {c.label: c for c in curves["latency"]}
+        sw, ib = by_label["SW"], by_label["Infiniband"]
+        for x, ts, ti in zip(sw.x, sw.y, ib.y):
+            if x > 2048:
+                assert ts > ti
+
+    def test_render(self):
+        assert "P2P bandwidth" in fig6_network.render()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_allreduce.generate()
+
+    def test_simulated_matches_analytic(self, result):
+        assert result.original_simulated_s == pytest.approx(
+            result.original_analytic_s, rel=1e-9
+        )
+        assert result.improved_simulated_s == pytest.approx(
+            result.improved_analytic_s, rel=1e-9
+        )
+
+    def test_improvement_positive(self, result):
+        assert result.improvement > 1.0
+
+    def test_cross_traffic_quartered(self, result):
+        # Coefficients n*b2 -> n/4*b2: cross bytes drop 4x at p=8, q=4.
+        assert result.improved_cross_bytes == pytest.approx(
+            result.original_cross_bytes / 4, rel=1e-9
+        )
+
+    def test_reduction_exact(self, result):
+        assert result.reduction_exact
+
+    def test_caption_cost_ratio(self, result):
+        """The figure's closed forms: improved spends 2x more on b1 and
+        4x less on b2 than original."""
+        m = fig7_allreduce.MODEL
+        n = result.nbytes
+        base = 6 * m.alpha + 7 / 8 * n * m.gamma
+        orig_comm = result.original_analytic_s - base
+        impr_comm = result.improved_analytic_s - base
+        assert orig_comm == pytest.approx(3 / 4 * n * m.beta1 + n * m.beta2, rel=1e-9)
+        assert impr_comm == pytest.approx(3 / 2 * n * m.beta1 + n * m.beta2 / 4, rel=1e-9)
+
+    def test_render(self):
+        assert "improvement" in fig7_allreduce.render()

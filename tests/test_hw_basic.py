@@ -1,0 +1,155 @@
+"""Unit tests for the SW26010 hardware model basics: specs, clock, LDM."""
+
+import pytest
+
+from repro.errors import LDMAllocationError
+from repro.hw import (
+    E5_2680V3_SPEC,
+    K40M_SPEC,
+    KNL_SPEC,
+    SW26010_SPEC,
+    SW_PARAMS,
+    LDMAllocator,
+    SimClock,
+)
+
+
+class TestSpecs:
+    def test_table1_rows_match_paper(self):
+        assert SW26010_SPEC.release_year == 2014
+        assert SW26010_SPEC.peak_double == pytest.approx(3.02e12)
+        assert K40M_SPEC.peak_single == pytest.approx(4.29e12)
+        assert K40M_SPEC.peak_double == pytest.approx(1.43e12)
+        assert KNL_SPEC.mem_bandwidth == pytest.approx(475e9)
+        assert E5_2680V3_SPEC.mem_bandwidth == pytest.approx(68e9)
+
+    def test_sw_params_geometry(self):
+        assert SW_PARAMS.n_cpes_per_cg == 64
+        assert SW_PARAMS.ldm_bytes == 64 * 1024
+        assert SW_PARAMS.n_core_groups == 4
+
+    def test_cpe_peak_is_cluster_fraction(self):
+        assert SW_PARAMS.cpe_peak_flops == pytest.approx(742.4e9 / 64)
+
+    def test_flop_per_byte_matches_paper(self):
+        # Principle 3: 742.4 GFlops / 28 GB/s = 26.5
+        assert SW_PARAMS.flop_per_byte == pytest.approx(26.5, rel=0.01)
+
+    def test_machine_balance_ordering(self):
+        # SW26010's flop/byte is far above K40m's and KNL's (paper: 26.5
+        # vs 14.90 and 14.56).
+        assert (
+            SW_PARAMS.flop_per_byte
+            > K40M_SPEC.flop_per_byte_single
+            > KNL_SPEC.flop_per_byte_single
+        )
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clk = SimClock()
+        clk.advance(1.5)
+        clk.advance(0.5)
+        assert clk.now == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        clk = SimClock()
+        with pytest.raises(ValueError):
+            clk.advance(-1.0)
+
+    def test_sections_categorize(self):
+        clk = SimClock()
+        with clk.section("dma"):
+            clk.advance(1.0)
+            with clk.section("compute"):
+                clk.advance(2.0)
+            clk.advance(0.5)
+        clk.advance(0.25)
+        assert clk.category_total("dma") == pytest.approx(1.5)
+        assert clk.category_total("compute") == pytest.approx(2.0)
+        assert clk.category_total("other") == pytest.approx(0.25)
+        assert clk.now == pytest.approx(3.75)
+
+    def test_explicit_category_overrides_section(self):
+        clk = SimClock()
+        with clk.section("dma"):
+            clk.advance(1.0, category="rlc")
+        assert clk.category_total("rlc") == pytest.approx(1.0)
+        assert clk.category_total("dma") == 0.0
+
+    def test_merge_max_takes_slowest(self):
+        parent, a, b = SimClock(), SimClock(), SimClock()
+        a.advance(1.0, category="compute")
+        b.advance(3.0, category="dma")
+        dt = parent.merge_max(a, b)
+        assert dt == pytest.approx(3.0)
+        assert parent.now == pytest.approx(3.0)
+        assert parent.category_total("dma") == pytest.approx(3.0)
+
+    def test_reset(self):
+        clk = SimClock()
+        clk.advance(1.0)
+        clk.reset()
+        assert clk.now == 0.0
+        assert clk.breakdown() == {}
+
+
+class TestLDMAllocator:
+    def test_capacity_default_64k(self):
+        ldm = LDMAllocator()
+        assert ldm.capacity == 64 * 1024
+
+    def test_alloc_and_free(self):
+        ldm = LDMAllocator(1024)
+        buf = ldm.alloc("a", 512)
+        assert buf.offset == 0
+        assert ldm.used == 512
+        ldm.free_buffer("a")
+        assert ldm.used == 0
+
+    def test_overflow_raises(self):
+        ldm = LDMAllocator(1024)
+        ldm.alloc("a", 1000)
+        with pytest.raises(LDMAllocationError):
+            ldm.alloc("b", 100)
+
+    def test_duplicate_name_raises(self):
+        ldm = LDMAllocator(1024)
+        ldm.alloc("a", 10)
+        with pytest.raises(LDMAllocationError):
+            ldm.alloc("a", 10)
+
+    def test_require_is_idempotent(self):
+        ldm = LDMAllocator(1024)
+        b1 = ldm.require("a", 100)
+        b2 = ldm.require("a", 100)
+        assert b1 == b2
+        assert ldm.used == 100
+        with pytest.raises(LDMAllocationError):
+            ldm.require("a", 200)
+
+    def test_high_water_mark(self):
+        ldm = LDMAllocator(1024)
+        ldm.alloc("a", 600)
+        ldm.free_buffer("a")
+        ldm.alloc("b", 100)
+        assert ldm.high_water == 600
+
+    def test_free_unknown_raises(self):
+        ldm = LDMAllocator(1024)
+        with pytest.raises(LDMAllocationError):
+            ldm.free_buffer("nope")
+
+    def test_fits(self):
+        ldm = LDMAllocator(1024)
+        ldm.alloc("a", 1000)
+        assert ldm.fits(24)
+        assert not ldm.fits(25)
+
+    def test_reset_preserves_high_water(self):
+        ldm = LDMAllocator(1024)
+        ldm.alloc("a", 800)
+        ldm.reset()
+        assert ldm.used == 0
+        assert ldm.high_water == 800
+        assert "a" not in ldm

@@ -1,0 +1,164 @@
+"""Tests for RLC, CPE, MPE, CoreGroup and SW26010 processor models."""
+
+import pytest
+
+from repro.hw import CPE, MPE, CoreGroup, RegisterComm, SimClock, SW26010, SW_PARAMS
+
+
+class TestRegisterComm:
+    def test_row_and_column_pairs_legal(self):
+        rlc = RegisterComm()
+        rlc.validate_pair((2, 0), (2, 7))  # same row
+        rlc.validate_pair((0, 3), (7, 3))  # same column
+
+    def test_diagonal_pair_rejected(self):
+        rlc = RegisterComm()
+        with pytest.raises(ValueError):
+            rlc.validate_pair((0, 0), (1, 1))
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterComm().validate_pair((3, 3), (3, 3))
+
+    def test_out_of_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterComm().validate_pair((0, 0), (0, 8))
+
+    def test_broadcast_faster_than_p2p(self):
+        # Paper [7]: 4461 GB/s broadcast vs 2549 GB/s P2P aggregate.
+        rlc = RegisterComm()
+        n = 1 << 20
+        assert rlc.broadcast_time(n) < rlc.p2p_time(n)
+
+    def test_word_granularity_is_256_bits(self):
+        assert RegisterComm().word_bytes == 32
+
+    def test_charge_advances_clock(self):
+        clock = SimClock()
+        rlc = RegisterComm(clock=clock)
+        rlc.charge_broadcast(1024)
+        rlc.charge_p2p(1024)
+        assert clock.category_total("rlc") == pytest.approx(clock.now)
+        assert clock.now > 0
+
+    def test_zero_bytes_free(self):
+        assert RegisterComm().p2p_time(0) == 0.0
+
+
+class TestCPE:
+    def test_peak_is_64th_of_cluster(self):
+        cpe = CPE(row=0, col=0)
+        assert cpe.peak_flops == pytest.approx(742.4e9 / 64)
+
+    def test_compute_time(self):
+        cpe = CPE(row=1, col=2)
+        assert cpe.compute_time(cpe.peak_flops) == pytest.approx(1.0)
+        assert cpe.compute_time(cpe.peak_flops, efficiency=0.5) == pytest.approx(2.0)
+
+    def test_invalid_efficiency(self):
+        cpe = CPE(row=0, col=0)
+        with pytest.raises(ValueError):
+            cpe.compute_time(1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            cpe.compute_time(-1.0)
+
+    def test_position_validated(self):
+        with pytest.raises(ValueError):
+            CPE(row=8, col=0)
+
+    def test_simd_efficiency_full_and_partial(self):
+        cpe = CPE(row=0, col=0)
+        assert cpe.simd_efficiency(4, dtype_bytes=8) == pytest.approx(1.0)
+        assert cpe.simd_efficiency(2, dtype_bytes=8) == pytest.approx(0.5)
+        assert cpe.simd_efficiency(6, dtype_bytes=8) == pytest.approx(0.75)
+        assert cpe.simd_efficiency(8, dtype_bytes=4) == pytest.approx(1.0)
+
+    def test_each_cpe_has_private_ldm(self):
+        cpe = CPE(row=0, col=0)
+        cpe.ldm.alloc("buf", 1000)
+        other = CPE(row=0, col=1)
+        assert other.ldm.used == 0
+
+
+class TestMPE:
+    def test_copy_slower_than_dma(self):
+        # Principle 2: the memory-to-MPE copy path (9.9 GB/s) is far
+        # slower than CPE-cluster DMA (28 GB/s).
+        mpe = MPE()
+        assert mpe.copy_bandwidth < SW_PARAMS.dma_peak_bw
+
+    def test_copy_time(self):
+        mpe = MPE()
+        assert mpe.copy_time(9.9e9) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            mpe.copy_time(-1)
+
+    def test_charges_categorized(self):
+        clock = SimClock()
+        mpe = MPE(clock=clock)
+        mpe.charge_copy(1e6)
+        mpe.charge_compute(1e6)
+        assert clock.category_total("mpe_copy") > 0
+        assert clock.category_total("mpe_compute") > 0
+
+
+class TestCoreGroup:
+    def test_has_64_cpes(self):
+        cg = CoreGroup()
+        assert cg.n_cpes == 64
+        assert cg.cpe(7, 7).row == 7
+
+    def test_phase_overlap_rule(self):
+        cg = CoreGroup()
+        # Compute-dominated phase: total == compute.
+        cost = cg.phase_cost(flops=742.4e9, compute_efficiency=1.0, dma_bytes=1024)
+        assert cost.total_s == pytest.approx(cost.compute_s)
+        # DMA-dominated phase: total == dma.
+        cost = cg.phase_cost(flops=1e6, dma_bytes=28e9)
+        assert cost.total_s == pytest.approx(cost.dma_s)
+
+    def test_serialized_rlc_adds(self):
+        cg = CoreGroup()
+        over = cg.phase_cost(flops=1e9, rlc_bytes=1e9, rlc_overlapped=False)
+        under = cg.phase_cost(flops=1e9, rlc_bytes=1e9, rlc_overlapped=True)
+        assert over.total_s > under.total_s
+
+    def test_run_phase_advances_clock(self):
+        cg = CoreGroup()
+        cg.run_phase(flops=1e9)
+        assert cg.clock.now > 0
+        assert cg.clock.category_total("kernel") == pytest.approx(cg.clock.now)
+
+    def test_shared_clock_across_engines(self):
+        cg = CoreGroup()
+        cg.dma.get.__self__.clock.advance(0)  # same object
+        assert cg.dma.clock is cg.clock
+        assert cg.rlc.clock is cg.clock
+
+
+class TestProcessor:
+    def test_four_core_groups(self):
+        chip = SW26010()
+        assert chip.n_core_groups == 4
+
+    def test_peak_near_3_tflops(self):
+        chip = SW26010()
+        assert chip.peak_flops == pytest.approx(3.016e12, rel=0.01)
+
+    def test_fork_join_takes_slowest(self):
+        chip = SW26010()
+
+        def work(cg):
+            # CG index determines how much work it gets (imbalance).
+            cg.run_phase(flops=(cg.index + 1) * 1e9, compute_efficiency=1.0)
+            return cg.index
+
+        results = chip.fork_join(work)
+        assert results == [0, 1, 2, 3]
+        slowest = 4e9 / 742.4e9
+        assert chip.clock.now == pytest.approx(slowest + 2e-6, rel=1e-6)
+
+    def test_parallel_time_helper(self):
+        chip = SW26010()
+        assert chip.parallel_time([1.0, 3.0, 2.0], sync_overhead_s=0.5) == 3.5
+        assert chip.parallel_time([]) == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the on-disk record format and file-backed data source."""
+
+import numpy as np
+import pytest
+
+from repro.frame.layers import DataLayer, InnerProductLayer, SoftmaxWithLossLayer
+from repro.frame.net import Net
+from repro.frame.solver import SGDSolver
+from repro.io.records import (
+    FileBackedSource,
+    RecordFormatError,
+    RecordReader,
+    RecordWriter,
+    write_synthetic_records,
+)
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture()
+def record_file(tmp_path):
+    path = str(tmp_path / "data.swrec")
+    write_synthetic_records(
+        path, n_records=40, num_classes=5, sample_shape=(2, 4, 4), seed=7
+    )
+    return path
+
+
+class TestRecordRoundTrip:
+    def test_write_read_exact(self, tmp_path):
+        path = str(tmp_path / "rt.swrec")
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(10, 3, 5)).astype(np.float32)
+        labels = rng.integers(0, 9, size=10)
+        with RecordWriter(path, (3, 5)) as w:
+            for img, lab in zip(images, labels):
+                w.write(int(lab), img)
+        with RecordReader(path) as r:
+            assert r.count == 10
+            assert r.sample_shape == (3, 5)
+            for i in range(10):
+                lab, img = r.read(i)
+                assert lab == labels[i]
+                np.testing.assert_array_equal(img, images[i])
+
+    def test_random_access_any_order(self, record_file):
+        with RecordReader(record_file) as r:
+            a = r.read(17)
+            _ = r.read(3)
+            b = r.read(17)
+            assert a[0] == b[0]
+            np.testing.assert_array_equal(a[1], b[1])
+
+    def test_record_bytes(self, record_file):
+        with RecordReader(record_file) as r:
+            assert r.record_bytes == 8 + 4 * 2 * 4 * 4
+
+    def test_out_of_range(self, record_file):
+        with RecordReader(record_file) as r:
+            with pytest.raises(IndexError):
+                r.read(40)
+
+    def test_shape_mismatch_on_write(self, tmp_path):
+        with RecordWriter(str(tmp_path / "x.swrec"), (2, 2)) as w:
+            with pytest.raises(RecordFormatError):
+                w.write(0, np.zeros((3, 3), dtype=np.float32))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"NOTAFILE" + b"\x00" * 64)
+        with pytest.raises(RecordFormatError):
+            RecordReader(path)
+
+    def test_truncated_file_rejected(self, record_file, tmp_path):
+        data = open(record_file, "rb").read()
+        path = str(tmp_path / "trunc.swrec")
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        with pytest.raises(RecordFormatError):
+            RecordReader(path)
+
+
+class TestFileBackedSource:
+    def test_batches_have_right_shapes(self, record_file):
+        src = FileBackedSource(record_file, seed=1)
+        images, labels = src.next_batch(6)
+        assert images.shape == (6, 2, 4, 4)
+        assert labels.shape == (6,)
+        assert src.batch_bytes(6) == 6 * (8 + 128)
+
+    def test_sampling_deterministic_per_seed(self, record_file):
+        a = FileBackedSource(record_file, seed=2).next_batch(8)
+        b = FileBackedSource(record_file, seed=2).next_batch(8)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_trains_a_net_end_to_end(self, record_file):
+        """A net fed from disk must train exactly like one fed in memory."""
+        src = FileBackedSource(record_file, seed=3)
+        net = Net("disk")
+        net.add(DataLayer("data", src, 8), bottoms=[], tops=["data", "label"])
+        net.add(InnerProductLayer("ip", 5, rng=seeded_rng(4)), ["data"], ["logits"])
+        net.add(SoftmaxWithLossLayer("loss"), ["logits", "label"], ["loss"])
+        stats = SGDSolver(net, base_lr=0.05).step(20)
+        assert stats.losses[-1] < stats.losses[0]

@@ -1,0 +1,118 @@
+"""Tests for the register-communication GEMM plan (Sec. IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanError
+from repro.kernels import SWGemmPlan, gemm_register_schedule
+
+
+class TestScheduleCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=40),
+        n=st.integers(min_value=1, max_value=40),
+    )
+    def test_schedule_equals_matmul(self, m, k, n):
+        rng = np.random.default_rng(m * 10000 + k * 100 + n)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        np.testing.assert_allclose(gemm_register_schedule(a, b), a @ b, rtol=1e-10)
+
+    def test_schedule_exact_multiple_of_mesh(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(16, 24))
+        b = rng.normal(size=(24, 32))
+        np.testing.assert_allclose(gemm_register_schedule(a, b), a @ b, rtol=1e-12)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(PlanError):
+            gemm_register_schedule(np.ones((2, 3)), np.ones((4, 5)))
+
+
+class TestPlanFunctional:
+    def test_run_matches_matmul(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(32, 48)).astype(np.float32)
+        b = rng.normal(size=(48, 20)).astype(np.float32)
+        plan = SWGemmPlan(32, 20, 48)
+        np.testing.assert_allclose(plan.run(a, b), a @ b, rtol=1e-5)
+
+    def test_run_accumulates_into_c(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8))
+        c = np.ones((8, 8))
+        plan = SWGemmPlan(8, 8, 8)
+        out = plan.run(a, b, c)
+        np.testing.assert_allclose(out, 1.0 + a @ b, rtol=1e-12)
+        assert out is c
+
+    def test_run_shape_checks(self):
+        plan = SWGemmPlan(4, 5, 6)
+        with pytest.raises(PlanError):
+            plan.run(np.ones((4, 7)), np.ones((7, 5)))
+        with pytest.raises(PlanError):
+            plan.run(np.ones((4, 6)), np.ones((6, 5)), np.ones((4, 6)))
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(PlanError):
+            SWGemmPlan(0, 4, 4)
+
+
+class TestPlanCostModel:
+    def test_blocking_fits_ldm(self):
+        for dims in [(64, 64, 64), (512, 3136, 2304), (4096, 4096, 4096), (8, 50000, 27)]:
+            plan = SWGemmPlan(*dims)
+            blk = plan.blocking
+            assert plan._ldm_fit(blk.mb, blk.nb, blk.kb)
+
+    def test_large_square_gemm_is_compute_bound(self):
+        plan = SWGemmPlan(2048, 2048, 2048, dtype_bytes=8)
+        cost = plan.cost()
+        assert cost.compute_s > cost.dma_s
+        # Sustained performance should be a large fraction of the 742 GFlops
+        # CPE-cluster peak for big double-precision GEMM.
+        assert cost.gflops > 400
+
+    def test_single_precision_pays_conversion_tax(self):
+        d = SWGemmPlan(1024, 1024, 1024, dtype_bytes=8).cost()
+        s = SWGemmPlan(1024, 1024, 1024, dtype_bytes=4).cost()
+        assert s.compute_s > d.compute_s
+
+    def test_small_k_degrades_gflops(self):
+        # The paper: conv1_1's K*K*Ni = 27 contraction makes GEMM slow.
+        small = SWGemmPlan(64, 50176, 27).cost()
+        big = SWGemmPlan(256, 3136, 2304).cost()
+        assert small.gflops < 0.5 * big.gflops
+
+    def test_small_m_degrades_gflops(self):
+        # "to make GEMM compute-bounded, we have to make m > 160"
+        small = SWGemmPlan(32, 4096, 1024).cost()
+        big = SWGemmPlan(512, 4096, 1024).cost()
+        assert small.gflops < big.gflops
+
+    def test_flops_counted_exactly(self):
+        plan = SWGemmPlan(10, 20, 30)
+        assert plan.cost().flops == 2 * 10 * 20 * 30
+
+    def test_traffic_includes_panel_rereads(self):
+        plan = SWGemmPlan(1024, 1024, 1024, dtype_bytes=4)
+        blk = plan.blocking
+        n_blocks = -(-1024 // blk.nb)
+        m_blocks = -(-1024 // blk.mb)
+        expected = (
+            n_blocks * 1024 * 1024 * 4 + m_blocks * 1024 * 1024 * 4 + 2 * 1024 * 1024 * 4
+        )
+        assert plan.traffic_bytes() == pytest.approx(expected)
+
+    def test_cost_positive_and_finite(self):
+        cost = SWGemmPlan(100, 100, 100).cost()
+        assert 0 < cost.total_s < 1.0
+        assert cost.total_s >= max(cost.compute_s, cost.dma_s, cost.rlc_s)
+
+    def test_rlc_overlaps_under_compute_for_big_gemm(self):
+        cost = SWGemmPlan(2048, 2048, 2048, dtype_bytes=8).cost()
+        assert cost.rlc_s < cost.compute_s

@@ -1,0 +1,139 @@
+"""Model zoo structure tests: shapes, parameter counts, paper model sizes."""
+
+import numpy as np
+import pytest
+
+from repro.frame.model_zoo import PAPER_NETWORKS, alexnet, googlenet, lenet, resnet, vgg
+
+
+def param_count(net):
+    return sum(p.count for p in net.params)
+
+
+class TestAlexNet:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return alexnet.build(batch_size=2)
+
+    def test_parameter_count_near_published(self, net):
+        # Ungrouped AlexNet has ~61M parameters; the paper quotes the model
+        # payload as 232.6 MB.
+        n = param_count(net)
+        assert 55e6 < n < 66e6
+
+    def test_model_bytes_match_paper_scale(self, net):
+        mb = net.param_bytes() / 1e6
+        assert 220 < mb < 260
+
+    def test_conv_shapes(self, net):
+        assert net.blobs["conv1"].shape == (2, 96, 55, 55)
+        assert net.blobs["pool5"].shape == (2, 256, 6, 6)
+        assert net.blobs["fc8"].shape == (2, 1000)
+
+    def test_lrn_variant_builds(self):
+        net = alexnet.build(batch_size=1, variant="lrn")
+        assert any(l.type == "LRN" for l in net.layers)
+        assert not any(l.type == "BatchNorm" for l in net.layers)
+
+
+class TestVGG:
+    @pytest.fixture(scope="class")
+    def net16(self):
+        return vgg.build_vgg16(batch_size=1)
+
+    def test_vgg16_parameters(self, net16):
+        n = param_count(net16)
+        assert abs(n - 138.36e6) < 1.0e6
+
+    def test_vgg16_conv_count(self, net16):
+        convs = [l for l in net16.layers if l.type == "Convolution"]
+        assert len(convs) == 13
+
+    def test_vgg16_spatial_pipeline(self, net16):
+        assert net16.blobs["conv1_2"].shape == (1, 64, 224, 224)
+        assert net16.blobs["pool5"].shape == (1, 512, 7, 7)
+
+    def test_vgg19_has_16_convs(self):
+        net = vgg.build_vgg19(batch_size=1)
+        convs = [l for l in net.layers if l.type == "Convolution"]
+        assert len(convs) == 16
+
+    def test_fc6_dominates_parameters(self, net16):
+        # Sec. V-A contrasts the huge first fully-connected layer (the
+        # paper quotes 102 MB for its configuration) with the 1.7 KB first
+        # conv layer; in standard VGG-16 fc6 is 4096 x 25088 (~411 MB) and
+        # conv1_1 is 64*3*3*3*4 B = 6.9 KB. The structural claim — fc6 is
+        # the largest parameter by orders of magnitude — must hold.
+        fc6 = net16.layer_by_name("fc6")
+        conv1_1 = net16.layer_by_name("conv1_1")
+        assert fc6.weight.nbytes > 100e6
+        assert fc6.weight.nbytes == max(p.nbytes for p in net16.params)
+        assert conv1_1.weight.nbytes < 10e3
+
+
+class TestResNet50:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return resnet.build_resnet50(batch_size=1)
+
+    def test_parameter_count(self, net):
+        n = param_count(net)
+        assert 24e6 < n < 27e6
+
+    def test_model_bytes_match_paper(self, net):
+        # Paper: ResNet-50 parameters are 97.7 MB.
+        mb = net.param_bytes() / 1e6
+        assert 95 < mb < 110
+
+    def test_stage_output_shapes(self, net):
+        assert net.blobs["res2c/relu"].shape == (1, 256, 56, 56)
+        assert net.blobs["res3d/relu"].shape == (1, 512, 28, 28)
+        assert net.blobs["res4f/relu"].shape == (1, 1024, 14, 14)
+        assert net.blobs["res5c/relu"].shape == (1, 2048, 7, 7)
+        assert net.blobs["pool5"].shape == (1, 2048, 1, 1)
+
+    def test_block_count(self, net):
+        adds = [l for l in net.layers if l.type == "Eltwise"]
+        assert len(adds) == 16  # 3 + 4 + 6 + 3
+
+
+class TestGoogLeNet:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return googlenet.build(batch_size=1)
+
+    def test_parameter_count(self, net):
+        n = param_count(net)
+        assert 6.5e6 < n < 8.0e6
+
+    def test_inception_output_channels(self, net):
+        assert net.blobs["inception_3a/output"].shape[1] == 256
+        assert net.blobs["inception_4e/output"].shape[1] == 832
+        assert net.blobs["inception_5b/output"].shape[1] == 1024
+
+    def test_concat_layers_present(self, net):
+        concats = [l for l in net.layers if l.type == "Concat"]
+        assert len(concats) == 9
+
+
+class TestPaperNetworkTable:
+    def test_registry_contains_all_five(self):
+        assert set(PAPER_NETWORKS) == {
+            "AlexNet", "VGG-16", "VGG-19", "ResNet-50", "GoogleNet",
+        }
+
+    def test_paper_batch_sizes(self):
+        assert PAPER_NETWORKS["AlexNet"][1] == 256
+        assert PAPER_NETWORKS["VGG-16"][1] == 64
+        assert PAPER_NETWORKS["ResNet-50"][1] == 32
+        assert PAPER_NETWORKS["GoogleNet"][1] == 128
+
+
+class TestLeNetFunctional:
+    def test_forward_backward_runs(self):
+        net = lenet.build(batch_size=4)
+        losses = net.forward()
+        assert losses["loss"] > 0
+        net.backward()
+        conv1 = net.layer_by_name("conv1")
+        assert float(np.abs(conv1.weight.diff).sum()) > 0

@@ -1,0 +1,182 @@
+"""Tests for the multi-node scaling layer: threads, packing, SSGD model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.frame.blob import Blob
+from repro.parallel import (
+    GradientPacker,
+    MultiCGRunner,
+    SSGDIterationModel,
+    ScalingStudy,
+)
+from repro.parallel.ssgd import IterationBreakdown
+from repro.topology.cost_model import SW_COLLECTIVE_NETWORK
+
+
+def make_params(shapes, seed=0):
+    rng = np.random.default_rng(seed)
+    blobs = []
+    for i, shape in enumerate(shapes):
+        b = Blob(f"p{i}", shape)
+        b.data = rng.normal(size=shape).astype(np.float32)
+        b.diff = rng.normal(size=shape).astype(np.float32)
+        blobs.append(b)
+    return blobs
+
+
+class TestMultiCGRunner:
+    def test_iteration_takes_slowest_cg(self):
+        r = MultiCGRunner()
+        t = r.iteration_time([1.0, 1.2, 0.9, 1.1], model_bytes=0)
+        assert t.compute_s == pytest.approx(1.2)
+
+    def test_scalar_compute_accepted(self):
+        r = MultiCGRunner()
+        assert r.iteration_time(2.0, 0).compute_s == pytest.approx(2.0)
+
+    def test_local_reduce_scales_with_model(self):
+        r = MultiCGRunner()
+        small = r.local_reduce_time(1e6)
+        big = r.local_reduce_time(1e8)
+        assert big == pytest.approx(100 * small)
+
+    def test_sync_counts(self):
+        r = MultiCGRunner(sync_overhead_s=1e-6)
+        assert r.simple_sync_time(10) == pytest.approx(1e-5)
+        with pytest.raises(ValueError):
+            r.simple_sync_time(-1)
+
+    def test_empty_cg_list_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCGRunner().iteration_time([], 0)
+
+    def test_total_includes_all_parts(self):
+        t = MultiCGRunner().iteration_time(1.0, 1e8)
+        assert t.total_s == pytest.approx(t.compute_s + t.sync_s + t.local_reduce_s)
+
+
+class TestGradientPacker:
+    def test_pack_unpack_round_trip(self):
+        params = make_params([(3, 4), (7,), (2, 2, 2)])
+        packer = GradientPacker(params)
+        flat = packer.pack_diffs()
+        assert flat.size == 12 + 7 + 8
+        original = [p.diff.copy() for p in params]
+        packer.unpack_diffs(flat * 2.0)
+        for p, orig in zip(params, original):
+            np.testing.assert_allclose(p.diff, 2 * orig, rtol=1e-6)
+
+    def test_layout_is_concatenation(self):
+        params = make_params([(2,), (3,)])
+        packer = GradientPacker(params)
+        flat = packer.pack_diffs()
+        np.testing.assert_array_equal(flat[:2], params[0].diff)
+        np.testing.assert_array_equal(flat[2:], params[1].diff)
+
+    def test_total_bytes(self):
+        packer = GradientPacker(make_params([(10,), (5, 2)]))
+        assert packer.total_bytes == 20 * 4
+        assert packer.layer_bytes == [40, 40]
+
+    def test_size_mismatch_rejected(self):
+        packer = GradientPacker(make_params([(4,)]))
+        with pytest.raises(ShapeError):
+            packer.unpack_diffs(np.zeros(5, dtype=np.float32))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            GradientPacker([])
+
+    def test_packed_allreduce_cheaper_with_latency(self):
+        # With a per-message latency, one fused allreduce beats per-layer.
+        packer = GradientPacker(make_params([(100,)] * 20))
+        cost = lambda nbytes: 1e-3 + nbytes * 1e-9
+        assert packer.allreduce_time_packed(cost) < packer.allreduce_time_per_layer(cost)
+
+
+class TestSSGDIterationModel:
+    def model(self, **kw):
+        defaults = dict(compute_s=1.0, model_bytes=100e6)
+        defaults.update(kw)
+        return SSGDIterationModel(**defaults)
+
+    def test_single_node_has_no_allreduce(self):
+        m = self.model()
+        assert m.allreduce_time(1) == 0.0
+        assert m.breakdown(1).allreduce_s == 0.0
+
+    def test_allreduce_grows_with_nodes(self):
+        m = self.model()
+        assert m.allreduce_time(4) < m.allreduce_time(64) < m.allreduce_time(1024)
+
+    def test_comm_fraction_monotone_in_nodes(self):
+        m = self.model()
+        fracs = [m.comm_fraction(n) for n in (2, 8, 64, 512, 1024)]
+        assert all(a <= b + 1e-12 for a, b in zip(fracs, fracs[1:]))
+
+    def test_larger_batch_lowers_comm_fraction(self):
+        small = self.model(compute_s=0.5)
+        big = self.model(compute_s=2.0)
+        assert big.comm_fraction(1024) < small.comm_fraction(1024)
+
+    def test_speedup_below_linear(self):
+        m = self.model()
+        for n in (2, 16, 1024):
+            assert 0 < m.speedup(n) < n
+
+    def test_round_robin_beats_block_placement(self):
+        rr = self.model(placement="round-robin")
+        blk = self.model(placement="block")
+        assert rr.allreduce_time(1024) < blk.allreduce_time(1024)
+
+    def test_cpe_reduce_beats_mpe(self):
+        cpe = self.model(reduce_engine="cpe")
+        mpe = self.model(reduce_engine="mpe")
+        assert cpe.allreduce_time(1024) < mpe.allreduce_time(1024)
+
+    def test_breakdown_total(self):
+        b = self.model().breakdown(64)
+        assert isinstance(b, IterationBreakdown)
+        assert b.total_s == pytest.approx(
+            b.compute_s + b.local_reduce_s + b.allreduce_s + b.update_s + b.io_s
+        )
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            self.model().breakdown(0)
+
+    def test_paper_endpoint_alexnet(self):
+        """Calibration sanity: a 232.6 MB model with the paper's AlexNet
+        B=256 compute time lands near the measured 1024-node operating
+        point (comm ~1.1 s, fraction ~30%, speedup ~715)."""
+        m = SSGDIterationModel(compute_s=256 / 94.17, model_bytes=232.6e6)
+        comm = m.allreduce_time(1024)
+        assert 0.9 < comm < 1.4
+        assert 0.24 < m.comm_fraction(1024) < 0.36
+        assert 600 < m.speedup(1024) < 790
+
+    def test_paper_endpoint_resnet(self):
+        """ResNet-50 B=32: 97.7 MB model, ~5.76 s compute -> ~10-15% comm."""
+        m = SSGDIterationModel(compute_s=32 / 5.56, model_bytes=97.7e6)
+        assert 0.08 < m.comm_fraction(1024) < 0.16
+        assert 850 < m.speedup(1024) < 950
+
+
+class TestScalingStudy:
+    def test_run_covers_grid(self):
+        study = ScalingStudy(node_counts=(2, 4))
+        study.add_config("a", SSGDIterationModel(compute_s=1.0, model_bytes=1e6))
+        study.add_config("b", SSGDIterationModel(compute_s=2.0, model_bytes=1e6))
+        points = study.run()
+        assert len(points) == 4
+        assert {(p.label, p.n_nodes) for p in points} == {
+            ("a", 2), ("a", 4), ("b", 2), ("b", 4),
+        }
+
+    def test_duplicate_label_rejected(self):
+        study = ScalingStudy()
+        study.add_config("a", SSGDIterationModel(compute_s=1.0, model_bytes=1e6))
+        with pytest.raises(ValueError):
+            study.add_config("a", SSGDIterationModel(compute_s=1.0, model_bytes=1e6))

@@ -1,0 +1,107 @@
+"""Tests for the parameter-server baseline (the scheme the paper rejects)."""
+
+import numpy as np
+import pytest
+
+from repro.frame.layers import DataLayer, InnerProductLayer, ReLULayer, SoftmaxWithLossLayer
+from repro.frame.net import Net
+from repro.parallel import DistributedTrainer
+from repro.parallel.param_server import ParameterServerModel, ParameterServerTrainer
+from repro.parallel.ssgd import SSGDIterationModel
+from repro.utils.rng import seeded_rng
+
+from tests.test_distributed_trainer import ShardSource, make_batches
+
+
+def build_net(source, batch, classes=3):
+    net = Net("ps")
+    net.add(DataLayer("data", source, batch), bottoms=[], tops=["data", "label"])
+    net.add(InnerProductLayer("ip1", 8, rng=seeded_rng(41)), ["data"], ["h"])
+    net.add(ReLULayer("r"), ["h"], ["a"])
+    net.add(InnerProductLayer("ip2", classes, rng=seeded_rng(42)), ["a"], ["logits"])
+    net.add(SoftmaxWithLossLayer("loss"), ["logits", "label"], ["loss"])
+    return net
+
+
+class TestTimingModel:
+    def test_ingestion_scales_linearly_with_workers(self):
+        m = ParameterServerModel(model_bytes=100e6, n_servers=8)
+        t64 = m.sync_time(64)
+        t128 = m.sync_time(128)
+        assert t128 == pytest.approx(2 * t64, rel=1e-6)
+
+    def test_more_servers_help(self):
+        few = ParameterServerModel(model_bytes=100e6, n_servers=2)
+        many = ParameterServerModel(model_bytes=100e6, n_servers=32)
+        assert many.sync_time(256) < few.sync_time(256)
+
+    def test_single_worker_free(self):
+        assert ParameterServerModel(model_bytes=1e6).sync_time(1) == 0.0
+        with pytest.raises(ValueError):
+            ParameterServerModel(model_bytes=1e6).sync_time(0)
+
+    def test_allreduce_wins_at_scale(self):
+        """The paper's argument: per-server ingestion grows linearly with
+        workers while the allreduce grows logarithmically (plus a fixed
+        bandwidth term), so allreduce must win at TaihuLight scale."""
+        model_bytes = 232.6e6
+        ps = ParameterServerModel(model_bytes=model_bytes, n_servers=16)
+        ssgd = SSGDIterationModel(compute_s=1.0, model_bytes=model_bytes)
+        crossover = ps.crossover_vs_allreduce(ssgd.allreduce_time)
+        assert crossover is not None and crossover <= 1024
+        assert ps.sync_time(1024) > 3 * ssgd.allreduce_time(1024)
+
+
+class TestFunctionalEquivalence:
+    def test_ps_training_equals_allreduce_training(self):
+        n_workers, per_worker, classes, steps = 4, 3, 3, 4
+        data = make_batches(steps, n_workers, per_worker, dim=5, classes=classes, seed=8)
+
+        def shard(rank):
+            return ShardSource(
+                [
+                    (img[rank * per_worker : (rank + 1) * per_worker],
+                     lab[rank * per_worker : (rank + 1) * per_worker])
+                    for img, lab in data
+                ]
+            )
+
+        ps = ParameterServerTrainer(
+            net_factory=lambda r: build_net(shard(r), per_worker, classes),
+            n_workers=n_workers,
+            n_servers=3,
+            base_lr=0.05,
+            momentum=0.9,
+        )
+        ps.step(steps)
+        assert ps.replicas_in_sync(atol=1e-6)
+
+        ar = DistributedTrainer(
+            net_factory=lambda r: build_net(shard(r), per_worker, classes),
+            n_workers=n_workers,
+            algorithm="rhd",
+            base_lr=0.05,
+            momentum=0.9,
+        )
+        ar.step(steps)
+        for pp, ap in zip(ps.nets[0].params, ar.nets[0].params):
+            np.testing.assert_allclose(pp.data, ap.data, rtol=1e-4, atol=1e-6)
+
+    def test_sync_time_accumulates(self):
+        data = make_batches(2, 2, 3, dim=5, classes=3)
+
+        def shard(rank):
+            return ShardSource(
+                [(img[rank * 3 : (rank + 1) * 3], lab[rank * 3 : (rank + 1) * 3]) for img, lab in data]
+            )
+
+        ps = ParameterServerTrainer(
+            net_factory=lambda r: build_net(shard(r), 3), n_workers=2, n_servers=2
+        )
+        stats = ps.step(2)
+        assert stats.iterations == 2
+        assert stats.simulated_sync_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterServerTrainer(lambda r: None, n_workers=0)

@@ -1,0 +1,232 @@
+"""Tests for Caffe prototxt compatibility."""
+
+import numpy as np
+import pytest
+
+from repro.frame.prototxt import (
+    PrototxtError,
+    net_from_prototxt,
+    parse_prototxt,
+    prototxt_to_spec,
+    solver_from_prototxt,
+)
+from repro.frame.solver import SGDSolver
+from repro.frame.solvers_ext import AdamSolver, NesterovSolver
+from repro.io.dataset import SyntheticImageNet
+from repro.utils.rng import seeded_rng
+
+LENET_PROTOTXT = """
+name: "LeNet"
+layer {
+  name: "mnist"
+  type: "Data"
+  top: "data"
+  top: "label"
+  data_param { batch_size: 8 }
+}
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param {
+    num_output: 20
+    kernel_size: 5
+    stride: 1
+    weight_filler { type: "xavier" }
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool1"
+  top: "ip1"
+  inner_product_param { num_output: 50 }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "ip1"
+  top: "relu1_out"   # in-place avoided: distinct top
+}
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "relu1_out"
+  top: "ip2"
+  inner_product_param { num_output: 10 }
+}
+layer {
+  name: "loss"
+  type: "SoftmaxWithLoss"
+  bottom: "ip2"
+  bottom: "label"
+  top: "loss"
+}
+"""
+
+SOLVER_PROTOTXT = """
+# Caffe solver definition
+base_lr: 0.05
+momentum: 0.9
+weight_decay: 0.0005
+lr_policy: "step"
+gamma: 0.5
+stepsize: 10
+max_iter: 100
+type: "SGD"
+"""
+
+
+class TestParser:
+    def test_scalars_and_strings(self):
+        msg = parse_prototxt('name: "x" value: 3 rate: 0.5 flag: true mode: MAX')
+        assert msg == {"name": "x", "value": 3, "rate": 0.5, "flag": True, "mode": "MAX"}
+
+    def test_nested_blocks(self):
+        msg = parse_prototxt("a { b { c: 1 } d: 2 }")
+        assert msg == {"a": {"b": {"c": 1}, "d": 2}}
+
+    def test_repeated_keys_become_lists(self):
+        msg = parse_prototxt('top: "a" top: "b" top: "c"')
+        assert msg == {"top": ["a", "b", "c"]}
+
+    def test_comments_ignored(self):
+        msg = parse_prototxt("# header\nx: 1 # trailing\ny: 2")
+        assert msg == {"x": 1, "y": 2}
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(PrototxtError):
+            parse_prototxt("a { b: 1")
+        with pytest.raises(PrototxtError):
+            parse_prototxt("}")
+
+    def test_dangling_key(self):
+        with pytest.raises(PrototxtError):
+            parse_prototxt("orphan")
+
+
+class TestNetFromPrototxt:
+    def source(self):
+        return SyntheticImageNet(
+            num_classes=10, sample_shape=(1, 20, 20), noise=0.2, seed=11
+        )
+
+    def test_spec_structure(self):
+        spec = prototxt_to_spec(LENET_PROTOTXT)
+        assert spec["name"] == "LeNet"
+        types = [l["type"] for l in spec["layers"]]
+        assert types == [
+            "Data", "Convolution", "Pooling", "InnerProduct", "ReLU",
+            "InnerProduct", "SoftmaxWithLoss",
+        ]
+        conv = spec["layers"][1]
+        assert conv["params"]["num_output"] == 20
+        assert conv["params"]["kernel_size"] == 5
+        assert conv["params"]["weight_filler"] == "xavier"
+        loss = spec["layers"][-1]
+        assert loss["bottoms"] == ["ip2", "label"]
+
+    def test_builds_and_trains(self):
+        net = net_from_prototxt(LENET_PROTOTXT, source=self.source(), rng=seeded_rng(1))
+        solver = SGDSolver(net, base_lr=0.01, momentum=0.9)
+        stats = solver.step(15)
+        assert stats.losses[-1] < stats.losses[0]
+
+    def test_inplace_layer_rejected(self):
+        bad = LENET_PROTOTXT.replace('top: "relu1_out"   # in-place avoided: distinct top', 'top: "ip1"')
+        with pytest.raises(PrototxtError):
+            prototxt_to_spec(bad)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(PrototxtError):
+            prototxt_to_spec('layer { name: "x" type: "SPP" }')
+
+    def test_no_layers_rejected(self):
+        with pytest.raises(PrototxtError):
+            prototxt_to_spec('name: "empty"')
+
+    def test_pooling_ave_maps_to_avg(self):
+        spec = prototxt_to_spec(
+            'layer { name: "d" type: "Data" top: "data" top: "label" '
+            "data_param { batch_size: 4 } }"
+            'layer { name: "p" type: "Pooling" bottom: "data" top: "p" '
+            "pooling_param { pool: AVE kernel_size: 3 } }"
+        )
+        assert spec["layers"][1]["params"]["mode"] == "avg"
+
+    def test_loss_weight_passes_through(self):
+        spec = prototxt_to_spec(
+            'layer { name: "d" type: "Data" top: "data" top: "label" '
+            "data_param { batch_size: 4 } }"
+            'layer { name: "ip" type: "InnerProduct" bottom: "data" top: "ip" '
+            "inner_product_param { num_output: 3 } }"
+            'layer { name: "loss" type: "SoftmaxWithLoss" bottom: "ip" '
+            'bottom: "label" top: "loss" loss_weight: 0.3 }'
+        )
+        assert spec["layers"][-1]["loss_weight"] == pytest.approx(0.3)
+        src = SyntheticImageNet(num_classes=3, sample_shape=(5,), seed=0)
+        from repro.frame.netspec import build_from_spec
+
+        net = build_from_spec(spec, source=src)
+        assert net.layer_by_name("loss").loss_weight == pytest.approx(0.3)
+
+    def test_slice_layer_mapped(self):
+        spec = prototxt_to_spec(
+            'layer { name: "d" type: "Data" top: "data" top: "label" '
+            "data_param { batch_size: 4 } }"
+            'layer { name: "sl" type: "Slice" bottom: "data" top: "a" top: "b" '
+            "slice_param { slice_point: 2 axis: 1 } }"
+        )
+        assert spec["layers"][1]["params"]["slice_points"] == [2]
+        assert spec["layers"][1]["tops"] == ["a", "b"]
+
+    def test_grouped_convolution_mapped(self):
+        spec = prototxt_to_spec(
+            'layer { name: "d" type: "Data" top: "data" top: "label" '
+            "data_param { batch_size: 4 } }"
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c" '
+            "convolution_param { num_output: 8 kernel_size: 3 group: 2 } }"
+        )
+        assert spec["layers"][1]["params"]["groups"] == 2
+
+
+class TestSolverFromPrototxt:
+    def net(self):
+        return net_from_prototxt(
+            LENET_PROTOTXT,
+            source=SyntheticImageNet(num_classes=10, sample_shape=(1, 20, 20), seed=1),
+        )
+
+    def test_sgd_with_step_policy(self):
+        solver = solver_from_prototxt(SOLVER_PROTOTXT, self.net())
+        assert isinstance(solver, SGDSolver)
+        assert solver.base_lr == pytest.approx(0.05)
+        assert solver.momentum == pytest.approx(0.9)
+        assert solver.learning_rate(10) == pytest.approx(0.025)
+
+    def test_solver_type_dispatch(self):
+        nesterov = solver_from_prototxt('type: "Nesterov" base_lr: 0.1', self.net())
+        assert isinstance(nesterov, NesterovSolver)
+        adam = solver_from_prototxt('type: "Adam" base_lr: 0.001', self.net())
+        assert isinstance(adam, AdamSolver)
+
+    def test_multistep_values(self):
+        solver = solver_from_prototxt(
+            'base_lr: 1.0 lr_policy: "multistep" gamma: 0.1 '
+            "stepvalue: 5 stepvalue: 9",
+            self.net(),
+        )
+        assert solver.steps == [5, 9]
+        assert solver.learning_rate(9) == pytest.approx(0.01)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PrototxtError):
+            solver_from_prototxt('type: "LBFGS"', self.net())

@@ -1,0 +1,66 @@
+"""Tests for the link-level contention model (deriving beta2 = 4 beta1)."""
+
+import pytest
+
+from repro.topology import TaihuLightFabric
+from repro.topology.cost_model import OVERSUBSCRIPTION
+from repro.topology.routing import ContentionModel, Flow
+
+
+@pytest.fixture()
+def model():
+    return ContentionModel(TaihuLightFabric(n_nodes=512, nodes_per_supernode=256))
+
+
+class TestSlowdowns:
+    def test_intra_supernode_uncontended(self, model):
+        flows = [Flow(i, i + 1, 1e6) for i in range(0, 100, 2)]
+        assert model.slowdowns(flows) == [1.0] * len(flows)
+
+    def test_full_cross_permutation_is_quarter_rate(self, model):
+        """Every node of supernode 0 sending to supernode 1 — the paper's
+        over-subscribed pattern — runs at exactly 1/4 rate."""
+        assert model.derived_oversubscription() == pytest.approx(OVERSUBSCRIPTION)
+
+    def test_sparse_cross_traffic_uncontended(self, model):
+        # Only q/4 nodes crossing fits in the central provisioning.
+        q = 256
+        flows = [Flow(i, 256 + i, 1e6) for i in range(q // 4)]
+        assert max(model.slowdowns(flows)) == pytest.approx(1.0)
+
+    def test_slightly_over_capacity(self, model):
+        q = 256
+        flows = [Flow(i, 256 + i, 1e6) for i in range(q // 4 + 16)]
+        expected = (q // 4 + 16) / (q / OVERSUBSCRIPTION)
+        assert max(model.slowdowns(flows)) == pytest.approx(expected)
+
+    def test_nic_serializes_fan_in(self, model):
+        # Many senders to one node contend at its port even locally — the
+        # parameter-server ingestion problem.
+        flows = [Flow(i, 200, 1e6) for i in range(8)]
+        assert model.slowdowns(flows) == [8.0] * 8
+
+    def test_step_time_scales_with_contention(self, model):
+        one = model.step_time([Flow(0, 1, 1 << 20)])
+        q = 256
+        crossed = model.step_time([Flow(i, 256 + i, 1 << 20) for i in range(q)])
+        assert crossed > 3.5 * one
+
+    def test_empty_step_is_free(self, model):
+        assert model.step_time([]) == 0.0
+
+    def test_consistency_with_stepwise_cost_classification(self, model):
+        """The analytic RHD pricing marks block-placement steps with
+        distance >= q as over-subscribed; the contention model must agree
+        that exactly those steps see the 4x slowdown."""
+        q = 256
+        p = 512
+        for d in (256, 128, 64):
+            flows = [
+                Flow(v, v ^ d, 1e6) for v in range(p) if (v ^ d) > v
+            ]
+            slow = max(model.slowdowns(flows))
+            if d >= q:
+                assert slow == pytest.approx(OVERSUBSCRIPTION)
+            else:
+                assert slow == pytest.approx(1.0)

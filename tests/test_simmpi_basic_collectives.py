@@ -1,0 +1,157 @@
+"""Tests for the basic MPI collectives (broadcast/reduce/scatter/gather/
+allgather/reduce-scatter) and their composition into allreduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicatorError
+from repro.simmpi import SimComm, block_placement, rhd_allreduce
+from repro.simmpi.collectives.basic import (
+    allgather,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.simmpi.collectives.reduce_ops import block_offsets
+from repro.topology import LinearCostModel, TaihuLightFabric
+
+MODEL = LinearCostModel(alpha=1e-6, beta1=1e-10, beta2=4e-10, gamma=3e-11)
+
+
+def make_comm(p, q=4):
+    fab = TaihuLightFabric(n_nodes=max(p, q), nodes_per_supernode=q)
+    return SimComm(fab, block_placement(p, 1), cost=MODEL)
+
+
+def bufs(p, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=n) for _ in range(p)]
+
+
+class TestBroadcast:
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(min_value=1, max_value=13), root=st.integers(min_value=0, max_value=12))
+    def test_everyone_gets_root_data(self, p, root):
+        root = root % p
+        data = bufs(p, 17, seed=p)
+        expected = data[root].copy()
+        broadcast(make_comm(p), data, root=root)
+        for b in data:
+            np.testing.assert_array_equal(b, expected)
+
+    def test_log_depth(self):
+        comm = make_comm(16)
+        res = broadcast(comm, bufs(16, 8), root=0)
+        assert res.alpha_count == 4
+
+    def test_bad_root(self):
+        with pytest.raises(CommunicatorError):
+            broadcast(make_comm(4), bufs(4, 4), root=4)
+
+
+class TestReduce:
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(min_value=1, max_value=11), root=st.integers(min_value=0, max_value=10))
+    def test_root_holds_sum(self, p, root):
+        root = root % p
+        data = bufs(p, 9, seed=p + 50)
+        expected = np.sum(data, axis=0)
+        others_before = [d.copy() for d in data]
+        reduce(make_comm(p), data, root=root)
+        np.testing.assert_allclose(data[root], expected, rtol=1e-12)
+        for r, (now, before) in enumerate(zip(data, others_before)):
+            if r != root:
+                np.testing.assert_array_equal(now, before)
+
+    def test_average(self):
+        p = 6
+        data = bufs(p, 5, seed=3)
+        expected = np.mean(data, axis=0)
+        reduce(make_comm(p), data, root=2, average=True)
+        np.testing.assert_allclose(data[2], expected, rtol=1e-12)
+
+
+class TestScatterGather:
+    def test_scatter_round_trips_with_gather(self):
+        p, n = 4, 23  # uneven chunks
+        comm = make_comm(p)
+        rng = np.random.default_rng(1)
+        sendbuf = rng.normal(size=n)
+        off = block_offsets(n, p)
+        recv = [np.zeros(off[i + 1] - off[i]) for i in range(p)]
+        scatter(comm, sendbuf, recv, root=0)
+        for i in range(p):
+            np.testing.assert_array_equal(recv[i], sendbuf[off[i] : off[i + 1]])
+        out = np.zeros(n)
+        gather(comm, recv, out, root=0)
+        np.testing.assert_array_equal(out, sendbuf)
+
+    def test_scatter_size_mismatch(self):
+        comm = make_comm(2)
+        with pytest.raises(CommunicatorError):
+            scatter(comm, np.zeros(10), [np.zeros(3), np.zeros(3)])
+
+    def test_gather_size_mismatch(self):
+        comm = make_comm(2)
+        with pytest.raises(CommunicatorError):
+            gather(comm, [np.zeros(3), np.zeros(3)], np.zeros(5))
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("p", [2, 4, 8, 3, 6])  # powers of two + ring fallback
+    def test_concatenation_everywhere(self, p):
+        size = 7
+        rng = np.random.default_rng(p)
+        chunks = [rng.normal(size=size) for _ in range(p)]
+        expected = np.concatenate(chunks)
+        buffers = [np.zeros(size * p) for _ in range(p)]
+        allgather(make_comm(p), buffers, chunks)
+        for b in buffers:
+            np.testing.assert_allclose(b, expected, rtol=1e-12)
+
+    def test_unequal_chunks_rejected(self):
+        comm = make_comm(2)
+        with pytest.raises(CommunicatorError):
+            allgather(comm, [np.zeros(5), np.zeros(5)], [np.zeros(2), np.zeros(3)])
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_each_rank_gets_its_reduced_block(self, p):
+        n = p * 6 + 3  # uneven blocks
+        data = bufs(p, n, seed=p + 9)
+        expected = np.sum(data, axis=0)
+        off = block_offsets(n, p)
+        outputs = [np.zeros(off[r + 1] - off[r]) for r in range(p)]
+        reduce_scatter(make_comm(p), data, outputs)
+        for r in range(p):
+            np.testing.assert_allclose(outputs[r], expected[off[r] : off[r + 1]], rtol=1e-12)
+
+    def test_non_power_of_two_rejected(self):
+        p = 3
+        with pytest.raises(CommunicatorError):
+            reduce_scatter(make_comm(p), bufs(p, 6), [np.zeros(2)] * 3)
+
+
+class TestComposition:
+    def test_reduce_scatter_plus_allgather_equals_allreduce(self):
+        """Rabenseifner's identity, executed: the fused rhd_allreduce must
+        match the composition of its two phases — in result AND in cost."""
+        p, n = 8, 64
+        data = bufs(p, n, seed=42)
+        fused = [d.copy() for d in data]
+        comm_fused = make_comm(p)
+        res_fused = rhd_allreduce(comm_fused, fused)
+
+        comm_comp = make_comm(p)
+        off = block_offsets(n, p)
+        outputs = [np.zeros(off[r + 1] - off[r]) for r in range(p)]
+        rs = reduce_scatter(comm_comp, data, outputs)
+        buffers = [np.zeros(n) for _ in range(p)]
+        ag = allgather(comm_comp, buffers, outputs)
+        for fb, cb in zip(fused, buffers):
+            np.testing.assert_allclose(fb, cb, rtol=1e-12)
+        assert res_fused.time_s == pytest.approx(rs.time_s + ag.time_s, rel=1e-9)

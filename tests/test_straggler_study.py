@@ -1,0 +1,37 @@
+"""Tests for the straggler-sensitivity study."""
+
+import pytest
+
+from repro.harness.straggler_study import barrier_inflation, generate, render
+
+
+class TestBarrierInflation:
+    def test_no_jitter_no_inflation(self):
+        assert barrier_inflation(64, 0.0) == pytest.approx(1.0)
+
+    def test_inflation_grows_with_cluster_size(self):
+        small = barrier_inflation(4, 0.05)
+        big = barrier_inflation(1024, 0.05)
+        assert 1.0 < small < big
+
+    def test_inflation_grows_with_jitter(self):
+        lo = barrier_inflation(64, 0.02)
+        hi = barrier_inflation(64, 0.10)
+        assert lo < hi
+
+    def test_deterministic(self):
+        assert barrier_inflation(64, 0.05) == barrier_inflation(64, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barrier_inflation(0, 0.05)
+        with pytest.raises(ValueError):
+            barrier_inflation(4, -0.1)
+
+
+class TestHarness:
+    def test_grid_and_render(self):
+        points = generate(node_counts=(4, 64), jitters=(0.0, 0.05))
+        assert len(points) == 4
+        text = render(points)
+        assert "Straggler" in text and "cv=0.05" in text

@@ -1,0 +1,85 @@
+"""Tests for the size-tuned allreduce dispatcher and the sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.harness import allreduce_sweep
+from repro.simmpi import SimComm, block_placement
+from repro.simmpi.collectives.tuned import crossover_bytes, tuned_allreduce
+from repro.topology import LinearCostModel, TaihuLightFabric
+
+MODEL = LinearCostModel(alpha=1e-6, beta1=1e-10, beta2=4e-10, gamma=3e-11)
+
+
+def make_comm(p=8, q=4, cost=MODEL):
+    fab = TaihuLightFabric(n_nodes=max(p, q), nodes_per_supernode=q)
+    return SimComm(fab, block_placement(p, min(p, q)), cost=cost)
+
+
+class TestTunedDispatch:
+    def test_correct_for_all_sizes(self):
+        for n_elems in (3, 100, 100_000):
+            comm = make_comm()
+            rng = np.random.default_rng(n_elems)
+            bufs = [rng.normal(size=n_elems) for _ in range(8)]
+            expected = np.sum(bufs, axis=0)
+            tuned_allreduce(comm, bufs)
+            for b in bufs:
+                np.testing.assert_allclose(b, expected, rtol=1e-10)
+
+    def test_small_messages_use_fewer_reduce_steps(self):
+        # Binomial path: log(p) reduce steps (+ broadcasts, no halving).
+        comm = make_comm()
+        bufs = [np.ones(2) for _ in range(8)]
+        result = tuned_allreduce(comm, bufs)
+        assert result.alpha_count == 6  # 3 reduce + 3 broadcast steps
+
+    def test_large_messages_use_rhd(self):
+        comm = make_comm()
+        n = 1 << 18
+        bufs = [np.ones(n) for _ in range(8)]
+        result = tuned_allreduce(comm, bufs)
+        # RHD's signature: geometric step sizes -> reduce_bytes = (p-1)/p * n.
+        assert result.reduce_bytes == pytest.approx(7 / 8 * n * 8)
+
+    def test_crossover_sensible(self):
+        comm = make_comm()
+        x = crossover_bytes(comm)
+        assert 0 < x < 1e6
+        # Higher latency pushes the crossover up.
+        slow = make_comm(cost=LinearCostModel(alpha=1e-4, beta1=1e-10, beta2=4e-10, gamma=0))
+        assert crossover_bytes(slow) > x
+
+    def test_crossover_without_model(self):
+        comm = make_comm(cost=None)
+        assert crossover_bytes(comm) == 2048.0
+
+    def test_two_ranks_prefer_tree(self):
+        comm = make_comm(p=2, q=4)
+        assert crossover_bytes(comm) == float("inf")
+
+
+class TestSweepHarness:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return allreduce_sweep.generate(sizes=(1024, 1 << 20))
+
+    def test_grid_complete(self, points):
+        assert len(points) == 2 * 4
+
+    def test_small_message_ring_loses_on_latency(self, points):
+        at_1k = {p.algorithm: p.time_s for p in points if p.nbytes == 1024}
+        assert at_1k["ring"] > at_1k["rhd (block)"]
+
+    def test_large_message_tree_loses_on_bandwidth(self, points):
+        at_1m = {p.algorithm: p.time_s for p in points if p.nbytes == 1 << 20}
+        assert at_1m["binomial"] > at_1m["rhd (block)"]
+
+    def test_round_robin_wins_at_every_size(self, points):
+        for n in (1024, 1 << 20):
+            at = {p.algorithm: p.time_s for p in points if p.nbytes == n}
+            assert at["rhd (round-robin)"] <= at["rhd (block)"] + 1e-12
+
+    def test_render(self, points):
+        text = allreduce_sweep.render(points)
+        assert "allreduce sweep" in text and "rhd (round-robin)" in text
