@@ -89,6 +89,14 @@ class GemmBlocking:
         return 2.0 * self.mb * self.nb * self.kb / traffic
 
 
+#: Memoized blocking choices. Scoring candidates with the full cost model
+#: makes one choice ~700 cost evaluations; layer shapes repeat heavily
+#: (every conv in a net maps to a handful of GEMM shapes), so the search
+#: runs once per distinct (params, m, n, k, dtype) tuple per process.
+_BLOCKING_CACHE: dict[tuple, GemmBlocking] = {}
+_BLOCKING_CACHE_MAX = 65536
+
+
 class SWGemmPlan(KernelPlan):
     """Cost/function plan for ``C += A @ B`` on one core group.
 
@@ -147,32 +155,51 @@ class SWGemmPlan(KernelPlan):
         return per_cpe <= self.params.ldm_bytes - reserve
 
     def _choose_blocking(self) -> GemmBlocking:
-        """Pick the largest LDM-resident block, preferring high intensity."""
+        """Pick the LDM-resident blocking with the lowest modeled time.
+
+        Candidates are scored with the full cost model rather than raw
+        arithmetic intensity: intensity alone prefers the largest block
+        even when it leaves a ragged fringe (e.g. m=498 split 384+114),
+        which the efficiency model then prices far below a slightly
+        smaller block that divides the problem evenly. Ties break toward
+        higher intensity, keeping the historical choice for shapes the
+        model prices identically.
+        """
+        key = (self.params, self.m, self.n, self.k, self.dtype_bytes)
+        cached = _BLOCKING_CACHE.get(key)
+        if cached is not None:
+            return cached
         mesh = self.params.cpe_rows
         candidates = [mesh * x for x in (1, 2, 4, 8, 16, 24, 32, 48, 64)]
 
         def clamp(dim: int) -> list[int]:
+            # Blocks stay within one mesh row of the dim: the library does
+            # not pad a dim far beyond its extent, and the calibrated
+            # small-shape collapse (Table II / Fig. 8) depends on that.
             opts = [c for c in candidates if c < dim + mesh]
             return opts or [mesh]
 
-        best: tuple[float, GemmBlocking] | None = None
+        best: tuple[float, float, GemmBlocking] | None = None
         for mb in clamp(self.m):
             for nb in clamp(self.n):
                 for kb in clamp(self.k):
                     if not self._ldm_fit(mb, nb, kb):
                         continue
                     blk = GemmBlocking(mb, nb, kb)
-                    score = blk.flop_per_byte
-                    if best is None or score > best[0]:
-                        best = (score, blk)
+                    score = (self._cost_for(blk).total_s, -blk.flop_per_byte)
+                    if best is None or score < best[:2]:
+                        best = (*score, blk)
         if best is None:
             raise PlanError("no LDM-feasible GEMM blocking found")
-        return best[1]
+        if len(_BLOCKING_CACHE) >= _BLOCKING_CACHE_MAX:
+            _BLOCKING_CACHE.clear()
+        _BLOCKING_CACHE[key] = best[2]
+        return best[2]
 
     # ------------------------------------------------------------------ #
     # cost model
     # ------------------------------------------------------------------ #
-    def _compute_efficiency(self) -> float:
+    def _compute_efficiency(self, blk: GemmBlocking | None = None) -> float:
         """Sustained fraction of CPE-cluster peak for this shape.
 
         Per-CPE tile dims drive pipeline/SIMD fill. Calibrated against the
@@ -195,7 +222,7 @@ class SWGemmPlan(KernelPlan):
         paper's measurements support.
         """
         mesh = self.params.cpe_rows
-        blk = self.blocking
+        blk = blk or self.blocking
         mt = max(1.0, blk.mb / mesh)
         nt = max(1.0, blk.nb / mesh)
         kt = max(1.0, blk.kb / mesh)
@@ -214,13 +241,13 @@ class SWGemmPlan(KernelPlan):
             eff *= 1.0 - self.single_precision_tax
         return max(eff, 1e-3)
 
-    def traffic_bytes(self) -> float:
+    def traffic_bytes(self, blk: GemmBlocking | None = None) -> float:
         """Total DRAM traffic of the blocked GEMM.
 
         A panels are re-read once per column-block sweep, B panels once per
         row-block sweep, C read+written once.
         """
-        blk = self.blocking
+        blk = blk or self.blocking
         m_blocks = math.ceil(self.m / blk.mb)
         n_blocks = math.ceil(self.n / blk.nb)
         a_bytes = n_blocks * self.m * self.k * self.dtype_bytes
@@ -228,9 +255,9 @@ class SWGemmPlan(KernelPlan):
         c_bytes = 2 * self.m * self.n * self.dtype_bytes
         return float(a_bytes + b_bytes + c_bytes)
 
-    def rlc_bytes(self) -> float:
+    def rlc_bytes(self, blk: GemmBlocking | None = None) -> float:
         """Register-communication traffic (tiles are broadcast in doubles)."""
-        blk = self.blocking
+        blk = blk or self.blocking
         m_blocks = math.ceil(self.m / blk.mb)
         n_blocks = math.ceil(self.n / blk.nb)
         k_blocks = math.ceil(self.k / blk.kb)
@@ -239,15 +266,18 @@ class SWGemmPlan(KernelPlan):
 
     def cost(self) -> PlanCost:
         """Simulated time for the full blocked GEMM on one core group."""
+        return self._cost_for(self.blocking)
+
+    def _cost_for(self, blk: GemmBlocking) -> PlanCost:
+        """Cost under a candidate blocking (also the chooser's objective)."""
         flops = 2.0 * self.m * self.n * self.k
-        eff = self._compute_efficiency()
+        eff = self._compute_efficiency(blk)
         compute_s = flops / (self._cg.peak_flops * eff)
-        dma_bytes = self.traffic_bytes()
+        dma_bytes = self.traffic_bytes(blk)
         # DMA rows of each panel are contiguous runs of kb/nb elements.
-        row_bytes = min(self.blocking.kb, self.blocking.nb) * self.dtype_bytes
+        row_bytes = min(blk.kb, blk.nb) * self.dtype_bytes
         dma_s = self._cg.dma.bulk_time(dma_bytes, block_bytes=row_bytes)
-        rlc_s = self._cg.rlc.broadcast_time(self.rlc_bytes())
-        blk = self.blocking
+        rlc_s = self._cg.rlc.broadcast_time(self.rlc_bytes(blk))
         n_outer = (
             math.ceil(self.m / blk.mb)
             * math.ceil(self.n / blk.nb)

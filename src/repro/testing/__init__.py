@@ -1,0 +1,88 @@
+"""Differential-correctness conformance layer (the `repro.testing` subsystem).
+
+swCaffe's credibility rests on two claims: every CPE-blocked kernel plan
+and topology-aware collective is *numerically equivalent* to a dense
+reference, and every simulated cost is *physically sane* (positive,
+monotone in problem size, within the 64 KiB LDM budget). This package
+turns those claims into reusable machinery instead of ad-hoc per-test
+checks:
+
+* :mod:`repro.testing.references` — slow-but-obviously-correct dense
+  NumPy implementations of conv/pool/GEMM/softmax and of the collective
+  reduction semantics, written with explicit loops so a reviewer can
+  verify them by inspection;
+* :mod:`repro.testing.registry` — the conformance registry: every kernel
+  plan, collective algorithm and differentiable layer registers a spec
+  describing how to sample configs, build an instance and compare it
+  against its reference;
+* :mod:`repro.testing.differential` — the seeded shape/param fuzzer that
+  drives plan-vs-reference comparisons and reports max-ulp mismatches
+  with a reproducible seed string;
+* :mod:`repro.testing.gradcheck` — central-difference gradient checking
+  as a library API (promoted from ``tests/gradcheck.py``);
+* :mod:`repro.testing.invariants` — cost-model sanity assertions applied
+  to every plan the fuzzer generates;
+* :mod:`repro.testing.pytest_plugin` — ``@conformance``-marked
+  parametrized fixtures so new kernels/collectives/layers get coverage
+  by registration rather than by hand-written tests.
+"""
+
+from repro.testing.differential import (
+    FuzzReport,
+    fuzz_collective,
+    fuzz_kernel,
+    max_ulp_diff,
+    parse_seed_string,
+    reproduce,
+    seed_string,
+)
+from repro.testing.gradcheck import (
+    LayerCase,
+    check_input_gradients,
+    check_layer,
+    check_param_gradients,
+    layer_loss,
+    register_layer,
+    registered_layers,
+    run_layer,
+)
+from repro.testing.invariants import InvariantViolation, check_cost_sane, check_plan
+from repro.testing.registry import (
+    CollectiveSpec,
+    KernelSpec,
+    collective_names,
+    get_collective,
+    get_kernel,
+    kernel_names,
+    register_collective,
+    register_kernel,
+)
+
+__all__ = [
+    "FuzzReport",
+    "fuzz_collective",
+    "fuzz_kernel",
+    "max_ulp_diff",
+    "parse_seed_string",
+    "reproduce",
+    "seed_string",
+    "LayerCase",
+    "check_input_gradients",
+    "check_layer",
+    "check_param_gradients",
+    "layer_loss",
+    "register_layer",
+    "registered_layers",
+    "run_layer",
+    "InvariantViolation",
+    "check_cost_sane",
+    "check_plan",
+    "CollectiveSpec",
+    "KernelSpec",
+    "collective_names",
+    "get_collective",
+    "get_kernel",
+    "kernel_names",
+    "register_collective",
+    "register_kernel",
+]

@@ -1,0 +1,328 @@
+"""Central-difference gradient checking as a library API.
+
+Promoted from ``tests/gradcheck.py`` (which now re-exports from here) and
+extended with a layer registry: every differentiable layer registers a
+:class:`LayerCase` describing how to build a deterministic instance and
+sample inputs, and :func:`check_layer` verifies *all* of its input and
+parameter gradients against central differences. The conformance pytest
+plugin parametrizes over :func:`registered_layers`, so a new layer gets
+gradient coverage by adding one registration, not a hand-written test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.frame.blob import Blob
+from repro.frame.layers import (
+    BatchNormLayer,
+    ConcatLayer,
+    ConvolutionLayer,
+    ELULayer,
+    EltwiseLayer,
+    InnerProductLayer,
+    LRNLayer,
+    LSTMLayer,
+    PoolingLayer,
+    PowerLayer,
+    ReLULayer,
+    ScaleLayer,
+    SigmoidLayer,
+    SoftmaxLayer,
+    TanHLayer,
+    TensorTransformLayer,
+)
+from repro.utils.rng import seeded_rng
+
+
+# --------------------------------------------------------------------------- #
+# core helpers (the original tests/gradcheck.py API)
+# --------------------------------------------------------------------------- #
+def run_layer(layer, inputs: list[np.ndarray]) -> list[Blob]:
+    """Set up a layer on fresh blobs and run one forward pass.
+
+    Returns ``[bottom..., top...]`` blobs.
+    """
+    bottoms = []
+    for i, arr in enumerate(inputs):
+        b = Blob(f"bottom{i}", arr.shape, dtype=np.float64)
+        b.data = arr
+        bottoms.append(b)
+    n_tops = getattr(layer, "n_tops", 1)
+    tops = [Blob(f"top{i}", dtype=np.float64) for i in range(n_tops)]
+    layer.setup(bottoms, tops)
+    layer.forward(bottoms, tops)
+    return bottoms + tops
+
+
+def layer_loss(layer, inputs: list[np.ndarray], weight: np.ndarray) -> float:
+    """Scalar probe: sum(top * weight) after a fresh forward."""
+    blobs = run_layer(layer, inputs)
+    top = blobs[len(inputs)]
+    return float(np.sum(top.data * weight))
+
+
+def check_input_gradients(
+    layer_factory,
+    inputs: list[np.ndarray],
+    *,
+    input_index: int = 0,
+    n_samples: int = 6,
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-7,
+    seed: int = 0,
+) -> None:
+    """Compare analytic bottom diffs against central differences.
+
+    ``layer_factory()`` must build a *fresh, deterministic* layer each call
+    (same weights, same dropout mask policy) so finite differences probe
+    the same function.
+    """
+    rng = np.random.default_rng(seed)
+    layer = layer_factory()
+    blobs = run_layer(layer, inputs)
+    bottoms, top = blobs[: len(inputs)], blobs[len(inputs)]
+    weight = rng.normal(size=top.shape)
+    top.diff = weight
+    layer.backward([top] + blobs[len(inputs) + 1 :], bottoms)
+    analytic = bottoms[input_index].diff
+
+    x = inputs[input_index]
+    flat_indices = rng.choice(x.size, size=min(n_samples, x.size), replace=False)
+    for flat in flat_indices:
+        idx = np.unravel_index(flat, x.shape)
+        xp = [a.copy() for a in inputs]
+        xm = [a.copy() for a in inputs]
+        xp[input_index][idx] += eps
+        xm[input_index][idx] -= eps
+        fp = layer_loss(layer_factory(), xp, weight)
+        fm = layer_loss(layer_factory(), xm, weight)
+        numeric = (fp - fm) / (2 * eps)
+        got = analytic[idx]
+        assert np.isclose(got, numeric, rtol=rtol, atol=atol), (
+            f"input grad mismatch at {idx}: analytic={got}, numeric={numeric}"
+        )
+
+
+def check_param_gradients(
+    layer_factory,
+    inputs: list[np.ndarray],
+    *,
+    param_index: int = 0,
+    n_samples: int = 6,
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-7,
+    seed: int = 0,
+) -> None:
+    """Compare analytic parameter diffs against central differences."""
+    rng = np.random.default_rng(seed)
+    layer = layer_factory()
+    blobs = run_layer(layer, inputs)
+    bottoms, top = blobs[: len(inputs)], blobs[len(inputs)]
+    weight = rng.normal(size=top.shape)
+    top.diff = weight
+    layer.backward([top] + blobs[len(inputs) + 1 :], bottoms)
+    param = layer.params[param_index]
+    analytic = param.diff.copy()
+
+    w0 = param.data.copy()
+    flat_indices = rng.choice(w0.size, size=min(n_samples, w0.size), replace=False)
+    for flat in flat_indices:
+        idx = np.unravel_index(flat, w0.shape)
+
+        def probe(delta: float) -> tuple[float, float]:
+            """Returns (loss, actually-applied parameter value)."""
+            fresh = layer_factory()
+            fresh_blobs = run_layer(fresh, inputs)
+            fresh.params[param_index].data[idx] += delta
+            applied = float(fresh.params[param_index].data[idx])
+            fresh.forward(fresh_blobs[: len(inputs)], [fresh_blobs[len(inputs)]])
+            return float(np.sum(fresh_blobs[len(inputs)].data * weight)), applied
+
+        fp, wp = probe(eps)
+        fm, wm = probe(-eps)
+        # Params may be stored in float32; divide by the delta that was
+        # actually representable, not the nominal eps.
+        numeric = (fp - fm) / (wp - wm)
+        got = analytic[idx]
+        assert np.isclose(got, numeric, rtol=rtol, atol=atol), (
+            f"param grad mismatch at {idx}: analytic={got}, numeric={numeric}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# layer registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LayerCase:
+    """Registration describing how to gradient-check one layer."""
+
+    name: str
+    #: Build a fresh deterministic layer (same weights every call).
+    factory: Callable[[], object]
+    #: Sample the bottom arrays from a seeded generator.
+    make_inputs: Callable[[np.random.Generator], list[np.ndarray]]
+    #: Bottom indices to check (default: all of them).
+    input_indices: tuple[int, ...] | None = None
+    rtol: float = 1e-4
+    atol: float = 1e-7
+    eps: float = 1e-6
+
+
+LAYERS: dict[str, LayerCase] = {}
+
+
+def register_layer(case: LayerCase) -> LayerCase:
+    """Add (or replace) a layer case in the gradcheck registry."""
+    LAYERS[case.name] = case
+    return case
+
+
+def registered_layers() -> list[str]:
+    return sorted(LAYERS)
+
+
+def check_layer(case: LayerCase | str, *, seed: int = 0) -> None:
+    """Gradient-check every input and every parameter of a registered layer."""
+    if isinstance(case, str):
+        case = LAYERS[case]
+    inputs = case.make_inputs(np.random.default_rng([0xC0FFEE, seed]))
+    indices = case.input_indices
+    if indices is None:
+        indices = tuple(range(len(inputs)))
+    for i in indices:
+        check_input_gradients(
+            case.factory, inputs, input_index=i,
+            rtol=case.rtol, atol=case.atol, eps=case.eps, seed=seed,
+        )
+    probe = case.factory()
+    run_layer(probe, inputs)
+    for p in range(len(probe.params)):
+        check_param_gradients(
+            case.factory, inputs, param_index=p,
+            rtol=case.rtol, atol=case.atol, eps=case.eps, seed=seed,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# built-in registrations (every differentiable layer in the zoo)
+# --------------------------------------------------------------------------- #
+def _img(rng: np.random.Generator, shape=(2, 3, 6, 6)) -> list[np.ndarray]:
+    return [rng.normal(size=shape)]
+
+
+def _two_distinct(rng: np.random.Generator) -> list[np.ndarray]:
+    """Two tensors with a guaranteed elementwise gap (no max-kink ties)."""
+    a = rng.normal(size=(3, 4))
+    gap = np.where(rng.random(size=a.shape) < 0.5, 0.7, -0.7)
+    return [a, a + gap]
+
+
+register_layer(LayerCase(
+    name="convolution",
+    factory=lambda: ConvolutionLayer("conv", num_output=4, kernel_size=3, pad=1, rng=seeded_rng(7)),
+    make_inputs=_img,
+))
+register_layer(LayerCase(
+    name="convolution_strided",
+    factory=lambda: ConvolutionLayer("conv", num_output=3, kernel_size=2, stride=2, rng=seeded_rng(8)),
+    make_inputs=lambda rng: _img(rng, (1, 5, 6, 6)),
+))
+register_layer(LayerCase(
+    name="inner_product",
+    factory=lambda: InnerProductLayer("ip", num_output=5, rng=seeded_rng(9)),
+    make_inputs=lambda rng: [rng.normal(size=(3, 7))],
+))
+register_layer(LayerCase(
+    name="relu",
+    factory=lambda: ReLULayer("r", negative_slope=0.2),
+    make_inputs=lambda rng: [rng.normal(size=(4, 9)) + 0.05],
+))
+register_layer(LayerCase(
+    name="sigmoid",
+    factory=lambda: SigmoidLayer("s"),
+    make_inputs=lambda rng: [rng.normal(size=(4, 9))],
+))
+register_layer(LayerCase(
+    name="tanh",
+    factory=lambda: TanHLayer("t"),
+    make_inputs=lambda rng: [rng.normal(size=(4, 9))],
+))
+register_layer(LayerCase(
+    name="elu",
+    factory=lambda: ELULayer("e", alpha=0.8),
+    make_inputs=lambda rng: [rng.normal(size=(4, 9)) + 0.05],
+))
+register_layer(LayerCase(
+    name="power",
+    factory=lambda: PowerLayer("p", power=2.0, scale=0.5, shift=1.5),
+    make_inputs=lambda rng: [np.abs(rng.normal(size=(4, 9))) + 0.5],
+))
+register_layer(LayerCase(
+    name="pooling_max",
+    factory=lambda: PoolingLayer("p", 2, 2),
+    make_inputs=lambda rng: _img(rng, (2, 2, 6, 6)),
+))
+register_layer(LayerCase(
+    name="pooling_avg",
+    factory=lambda: PoolingLayer("p", 3, 2, pad=1, mode="avg"),
+    make_inputs=lambda rng: _img(rng, (2, 2, 6, 6)),
+))
+register_layer(LayerCase(
+    name="batch_norm",
+    factory=lambda: BatchNormLayer("bn"),
+    make_inputs=lambda rng: _img(rng, (4, 3, 4, 4)),
+    rtol=1e-3,
+))
+register_layer(LayerCase(
+    name="lrn",
+    factory=lambda: LRNLayer("lrn", local_size=3, alpha=2.0, beta=0.75),
+    make_inputs=lambda rng: _img(rng, (2, 5, 3, 3)),
+    rtol=1e-3,
+))
+register_layer(LayerCase(
+    name="scale",
+    factory=lambda: ScaleLayer("sc"),
+    make_inputs=lambda rng: _img(rng, (2, 3, 4, 4)),
+))
+register_layer(LayerCase(
+    name="eltwise_sum",
+    factory=lambda: EltwiseLayer("e", operation="sum", coeffs=[0.5, -2.0]),
+    make_inputs=lambda rng: [rng.normal(size=(3, 4)), rng.normal(size=(3, 4))],
+))
+register_layer(LayerCase(
+    name="eltwise_prod",
+    factory=lambda: EltwiseLayer("e", operation="prod"),
+    make_inputs=lambda rng: [rng.normal(size=(3, 4)) + 3.0, rng.normal(size=(3, 4)) + 3.0],
+))
+register_layer(LayerCase(
+    name="eltwise_max",
+    factory=lambda: EltwiseLayer("e", operation="max"),
+    make_inputs=_two_distinct,
+))
+register_layer(LayerCase(
+    name="concat",
+    factory=lambda: ConcatLayer("c", axis=1),
+    make_inputs=lambda rng: [rng.normal(size=(2, 3, 4, 4)), rng.normal(size=(2, 5, 4, 4))],
+))
+register_layer(LayerCase(
+    name="softmax",
+    factory=lambda: SoftmaxLayer("s"),
+    make_inputs=lambda rng: [rng.normal(size=(3, 5))],
+))
+register_layer(LayerCase(
+    name="transform",
+    factory=lambda: TensorTransformLayer("t"),
+    make_inputs=lambda rng: _img(rng, (2, 3, 4, 5)),
+))
+register_layer(LayerCase(
+    name="lstm",
+    factory=lambda: LSTMLayer("lstm", num_output=4, rng=seeded_rng(21)),
+    make_inputs=lambda rng: [rng.normal(size=(2, 3, 3))],
+    rtol=1e-3,
+))

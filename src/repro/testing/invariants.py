@@ -1,0 +1,155 @@
+"""Cost-model sanity invariants, asserted on every fuzzer-generated plan.
+
+The simulated figures are only as trustworthy as the cost model's basic
+physics, so every plan the differential fuzzer builds is also checked for:
+
+* **positivity** — simulated time is strictly positive and finite, with no
+  negative component; flops/DMA bytes are non-negative;
+* **overlap consistency** — total time is at least the slowest component
+  stream (the dual-pipeline overlap rule can hide, never create, time);
+* **DMA conservation** — the priced traffic covers at least the operand
+  and result payloads the kernel must touch;
+* **monotonicity** — doubling the problem size never reduces flops or DMA
+  traffic, and (except for plans with documented pipeline-fill artifacts)
+  never reduces simulated time;
+* **LDM budget** — blocked execution paths never allocate more scratchpad
+  than one CPE's 64 KiB (enforced by running them against the
+  :class:`~repro.hw.ldm.LDMAllocator`, which raises on overflow, and by
+  auditing the high-water mark afterwards).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.kernels.gemm import SWGemmPlan
+from repro.kernels.plan import KernelPlan, PlanCost
+
+
+class InvariantViolation(AssertionError):
+    """A cost-model sanity check failed."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def check_cost_sane(cost: PlanCost, label: str = "plan") -> None:
+    """Positivity/finiteness/overlap checks on one simulated cost."""
+    for name in ("compute_s", "dma_s", "rlc_s", "overhead_s", "flops", "dma_bytes"):
+        value = getattr(cost, name)
+        _require(math.isfinite(value), f"{label}: {name} is not finite ({value})")
+        _require(value >= 0.0, f"{label}: {name} is negative ({value})")
+    _require(cost.total_s > 0.0, f"{label}: total simulated time must be > 0")
+    floor = max(cost.compute_s, cost.dma_s, cost.rlc_s)
+    _require(
+        cost.total_s >= floor - 1e-18,
+        f"{label}: total {cost.total_s} below slowest component {floor} "
+        "(overlap cannot create time)",
+    )
+
+
+def check_dma_conserved(cost: PlanCost, min_bytes: float, label: str = "plan") -> None:
+    """The priced DMA traffic must cover the operand/result payloads."""
+    _require(
+        cost.dma_bytes >= min_bytes * (1.0 - 1e-9),
+        f"{label}: cost prices {cost.dma_bytes:.0f} DMA bytes but the "
+        f"kernel must move at least {min_bytes:.0f} (payload not conserved)",
+    )
+
+
+def check_monotone(
+    small: PlanCost, big: PlanCost, *, time_monotone: bool = True, label: str = "plan"
+) -> None:
+    """Doubling the problem must not shrink work, traffic, or (usually) time."""
+    _require(
+        big.flops >= small.flops,
+        f"{label}: flops decreased when scaling up ({small.flops} -> {big.flops})",
+    )
+    _require(
+        big.dma_bytes >= small.dma_bytes * (1.0 - 1e-9),
+        f"{label}: DMA bytes decreased when scaling up "
+        f"({small.dma_bytes} -> {big.dma_bytes})",
+    )
+    if time_monotone:
+        _require(
+            big.total_s >= small.total_s * (1.0 - 1e-9),
+            f"{label}: simulated time decreased when scaling up "
+            f"({small.total_s} -> {big.total_s})",
+        )
+    else:
+        # Even with fill artifacts the *rate* must be monotone: more work
+        # never runs at a lower achieved Gflop/s (the paper's Table II trend).
+        if small.flops > 0 and big.flops > small.flops:
+            _require(
+                big.gflops >= small.gflops * 0.999,
+                f"{label}: achieved rate decreased when scaling up "
+                f"({small.gflops} -> {big.gflops} Gflop/s)",
+            )
+
+
+def check_ldm_budget(plan: KernelPlan, label: str = "plan") -> None:
+    """Static LDM audits + the post-run high-water mark.
+
+    The blocked functional paths allocate through the LDM allocator, which
+    raises on overflow; this check additionally audits the recorded
+    high-water mark (catching buffers freed before the overflow would hit)
+    and, for GEMM, re-validates the chosen blocking against the budget.
+    """
+    ldm = plan.core_group.cpes[0].ldm
+    _require(
+        ldm.high_water <= ldm.capacity,
+        f"{label}: LDM high-water {ldm.high_water} B exceeds the "
+        f"{ldm.capacity} B scratchpad",
+    )
+    if isinstance(plan, SWGemmPlan):
+        blk = plan.blocking
+        _require(
+            plan._ldm_fit(blk.mb, blk.nb, blk.kb),
+            f"{label}: chosen GEMM blocking {blk} does not fit in LDM",
+        )
+
+
+def check_plan(
+    spec: Any,
+    config: dict[str, Any],
+    plan: KernelPlan,
+) -> None:
+    """Run the full invariant battery for one fuzzed plan.
+
+    ``spec`` is a :class:`repro.testing.registry.KernelSpec`; the import is
+    deferred to keep this module registry-agnostic (the mutation smoke
+    tests feed it hand-built specs).
+    """
+    label = f"{spec.name}{config}"
+    cost = plan.cost()
+    check_cost_sane(cost, label)
+    if spec.min_dma_bytes is not None:
+        check_dma_conserved(cost, spec.min_dma_bytes(config), label)
+    if spec.scale_up is not None:
+        big_config = spec.scale_up(config)
+        big_cost = spec.build(big_config).cost()
+        check_monotone(
+            cost, big_cost, time_monotone=spec.time_monotone, label=label
+        )
+    check_ldm_budget(plan, label)
+
+
+def check_collective_result(result: Any, p: int, label: str = "collective") -> None:
+    """Sanity on a :class:`CollectiveResult`: non-negative, finite, priced."""
+    if result is None:
+        return
+    _require(math.isfinite(result.time_s), f"{label}: simulated time not finite")
+    _require(result.time_s >= 0.0, f"{label}: negative simulated time")
+    _require(result.steps >= 0, f"{label}: negative step count")
+    _require(
+        len(result.step_times) == result.steps,
+        f"{label}: step log length {len(result.step_times)} != steps {result.steps}",
+    )
+    if p > 1 and result.steps > 0:
+        _require(
+            result.time_s > 0.0,
+            f"{label}: {result.steps} communication steps priced at zero time",
+        )

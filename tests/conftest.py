@@ -1,0 +1,8 @@
+"""Test-tree configuration: load the conformance pytest plugin.
+
+The plugin (``repro.testing.pytest_plugin``) parametrizes any test that
+uses the ``kernel_name`` / ``collective_name`` / ``layer_name`` fixtures
+over the conformance registry and registers the ``conformance`` marker.
+"""
+
+pytest_plugins = ["repro.testing.pytest_plugin"]

@@ -1,121 +1,17 @@
-"""Central-difference gradient checking helpers for layer tests."""
+"""Back-compat shim: the gradcheck helpers are now a library API.
 
-from __future__ import annotations
+The implementation moved to :mod:`repro.testing.gradcheck` so layers can
+be gradient-checked by registration (see ``docs/testing.md``). Existing
+tests importing ``tests.gradcheck`` keep working through this re-export.
+"""
 
-import numpy as np
-
-from repro.frame.blob import Blob
-
-
-def run_layer(layer, inputs: list[np.ndarray]) -> list[Blob]:
-    """Set up a layer on fresh blobs and run one forward pass.
-
-    Returns ``[bottom..., top...]`` blobs.
-    """
-    bottoms = []
-    for i, arr in enumerate(inputs):
-        b = Blob(f"bottom{i}", arr.shape, dtype=np.float64)
-        b.data = arr
-        bottoms.append(b)
-    n_tops = getattr(layer, "n_tops", 1)
-    tops = [Blob(f"top{i}", dtype=np.float64) for i in range(n_tops)]
-    layer.setup(bottoms, tops)
-    layer.forward(bottoms, tops)
-    return bottoms + tops
-
-
-def layer_loss(layer, inputs: list[np.ndarray], weight: np.ndarray) -> float:
-    """Scalar probe: sum(top * weight) after a fresh forward."""
-    blobs = run_layer(layer, inputs)
-    top = blobs[len(inputs)]
-    return float(np.sum(top.data * weight))
-
-
-def check_input_gradients(
-    layer_factory,
-    inputs: list[np.ndarray],
-    *,
-    input_index: int = 0,
-    n_samples: int = 6,
-    eps: float = 1e-6,
-    rtol: float = 1e-4,
-    atol: float = 1e-7,
-    seed: int = 0,
-) -> None:
-    """Compare analytic bottom diffs against central differences.
-
-    ``layer_factory()`` must build a *fresh, deterministic* layer each call
-    (same weights, same dropout mask policy) so finite differences probe
-    the same function.
-    """
-    rng = np.random.default_rng(seed)
-    layer = layer_factory()
-    blobs = run_layer(layer, inputs)
-    bottoms, top = blobs[: len(inputs)], blobs[len(inputs)]
-    weight = rng.normal(size=top.shape)
-    top.diff = weight
-    layer.backward([top] + blobs[len(inputs) + 1 :], bottoms)
-    analytic = bottoms[input_index].diff
-
-    x = inputs[input_index]
-    flat_indices = rng.choice(x.size, size=min(n_samples, x.size), replace=False)
-    for flat in flat_indices:
-        idx = np.unravel_index(flat, x.shape)
-        xp = [a.copy() for a in inputs]
-        xm = [a.copy() for a in inputs]
-        xp[input_index][idx] += eps
-        xm[input_index][idx] -= eps
-        fp = layer_loss(layer_factory(), xp, weight)
-        fm = layer_loss(layer_factory(), xm, weight)
-        numeric = (fp - fm) / (2 * eps)
-        got = analytic[idx]
-        assert np.isclose(got, numeric, rtol=rtol, atol=atol), (
-            f"input grad mismatch at {idx}: analytic={got}, numeric={numeric}"
-        )
-
-
-def check_param_gradients(
-    layer_factory,
-    inputs: list[np.ndarray],
-    *,
-    param_index: int = 0,
-    n_samples: int = 6,
-    eps: float = 1e-6,
-    rtol: float = 1e-4,
-    atol: float = 1e-7,
-    seed: int = 0,
-) -> None:
-    """Compare analytic parameter diffs against central differences."""
-    rng = np.random.default_rng(seed)
-    layer = layer_factory()
-    blobs = run_layer(layer, inputs)
-    bottoms, top = blobs[: len(inputs)], blobs[len(inputs)]
-    weight = rng.normal(size=top.shape)
-    top.diff = weight
-    layer.backward([top] + blobs[len(inputs) + 1 :], bottoms)
-    param = layer.params[param_index]
-    analytic = param.diff.copy()
-
-    w0 = param.data.copy()
-    flat_indices = rng.choice(w0.size, size=min(n_samples, w0.size), replace=False)
-    for flat in flat_indices:
-        idx = np.unravel_index(flat, w0.shape)
-
-        def probe(delta: float) -> tuple[float, float]:
-            """Returns (loss, actually-applied parameter value)."""
-            fresh = layer_factory()
-            fresh_blobs = run_layer(fresh, inputs)
-            fresh.params[param_index].data[idx] += delta
-            applied = float(fresh.params[param_index].data[idx])
-            fresh.forward(fresh_blobs[: len(inputs)], [fresh_blobs[len(inputs)]])
-            return float(np.sum(fresh_blobs[len(inputs)].data * weight)), applied
-
-        fp, wp = probe(eps)
-        fm, wm = probe(-eps)
-        # Params may be stored in float32; divide by the delta that was
-        # actually representable, not the nominal eps.
-        numeric = (fp - fm) / (wp - wm)
-        got = analytic[idx]
-        assert np.isclose(got, numeric, rtol=rtol, atol=atol), (
-            f"param grad mismatch at {idx}: analytic={got}, numeric={numeric}"
-        )
+from repro.testing.gradcheck import (  # noqa: F401
+    LayerCase,
+    check_input_gradients,
+    check_layer,
+    check_param_gradients,
+    layer_loss,
+    register_layer,
+    registered_layers,
+    run_layer,
+)

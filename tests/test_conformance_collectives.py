@@ -1,0 +1,89 @@
+"""Registry-driven collective conformance + cross-algorithm equivalence.
+
+Beyond the per-collective differential fuzz (every registered algorithm
+vs the dense reduction reference), this pins the cross-algorithm claim the
+paper's Fig. 7 comparison rests on: *every* allreduce in the family —
+ring, recursive halving/doubling, binomial, topology-aware, and the
+size-tuned dispatcher — produces identical results on the same seeded
+inputs, for awkward rank counts (1, 2, 5, 8, 13) and both reduce modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    binomial_allreduce,
+    rhd_allreduce,
+    ring_allreduce,
+    topo_aware_allreduce,
+    tuned_allreduce,
+)
+from repro.testing import differential
+from repro.testing.references import ref_allreduce
+from repro.testing.registry import make_fuzz_comm
+
+ALLREDUCE_FAMILY = {
+    "ring": ring_allreduce,
+    "rhd": rhd_allreduce,
+    "binomial": binomial_allreduce,
+    "topo_aware": topo_aware_allreduce,
+    "tuned": tuned_allreduce,
+}
+
+#: Deliberately awkward rank counts: singleton, pair, prime, power of two,
+#: and a prime that exercises the non-power-of-two fold steps.
+EQUIVALENCE_RANKS = (1, 2, 5, 8, 13)
+
+#: All reduce modes the family supports (plain sum and averaged sum).
+REDUCE_OPS = (False, True)
+
+
+def test_collective_conformance(collective_name, conformance_configs):
+    reports = differential.fuzz_collective(
+        collective_name, n_configs=conformance_configs
+    )
+    assert len(reports) == conformance_configs
+    bad = [r for r in reports if not r.ok]
+    assert not bad, differential.summarize(reports)
+
+
+@pytest.mark.parametrize("p", EQUIVALENCE_RANKS)
+@pytest.mark.parametrize("average", REDUCE_OPS)
+def test_allreduce_family_is_equivalent(p, average):
+    """All five algorithms agree with each other and with the reference."""
+    rng = np.random.default_rng([0x5CAFFE, p, int(average)])
+    inputs = [rng.normal(size=193) for _ in range(p)]
+    expected = ref_allreduce(inputs, average=average)
+    outcomes = {}
+    for name, fn in ALLREDUCE_FAMILY.items():
+        bufs = [b.copy() for b in inputs]
+        fn(make_fuzz_comm(p), bufs, average=average)
+        outcomes[name] = bufs
+        for rank, (got, want) in enumerate(zip(bufs, expected)):
+            np.testing.assert_allclose(
+                got, want, rtol=1e-9, atol=1e-9,
+                err_msg=f"{name} diverges from reference at rank {rank} (p={p})",
+            )
+    # Pairwise agreement (tighter than reference tolerance: the family
+    # must agree with itself to float64 round-off).
+    baseline = outcomes["rhd"]
+    for name, bufs in outcomes.items():
+        for rank in range(p):
+            np.testing.assert_allclose(
+                bufs[rank], baseline[rank], rtol=1e-12, atol=1e-12,
+                err_msg=f"{name} != rhd at rank {rank} (p={p}, average={average})",
+            )
+
+
+@pytest.mark.parametrize("p", EQUIVALENCE_RANKS)
+def test_reduce_matches_allreduce_root(p):
+    """The rooted reduce agrees with the allreduce family at every root."""
+    from repro.simmpi import reduce as sim_reduce
+
+    rng = np.random.default_rng([0xBEEF, p])
+    inputs = [rng.normal(size=57) for _ in range(p)]
+    expected = ref_allreduce(inputs)[0]
+    for root in {0, p - 1, p // 2}:
+        bufs = [b.copy() for b in inputs]
+        sim_reduce(make_fuzz_comm(p), bufs, root=root)
+        np.testing.assert_allclose(bufs[root], expected, rtol=1e-9, atol=1e-9)

@@ -36,7 +36,7 @@ from repro.frame.solvers_ext import (
 from repro.io.dataset import SyntheticImageNet
 from repro.utils.rng import seeded_rng
 
-from tests.gradcheck import check_input_gradients, check_param_gradients, run_layer
+from repro.testing.gradcheck import check_input_gradients, check_param_gradients, run_layer
 
 RNG = np.random.default_rng(77)
 

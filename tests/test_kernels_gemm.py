@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import PlanError
 from repro.kernels import SWGemmPlan, gemm_register_schedule
+from repro.kernels.gemm import GemmBlocking
 
 
 class TestScheduleCorrectness:
@@ -97,6 +98,38 @@ class TestPlanCostModel:
     def test_flops_counted_exactly(self):
         plan = SWGemmPlan(10, 20, 30)
         assert plan.cost().flops == 2 * 10 * 20 * 30
+
+    def test_blocking_avoids_ragged_fringe(self):
+        # Regression (fuzzer-surfaced): scoring candidates by raw intensity
+        # picked mb=384 for m=498 — a 384+114 split whose fringe block the
+        # efficiency model prices far below an even 2x256 split — so the
+        # achieved rate *dropped* when m doubled from 249. The chooser now
+        # minimizes modeled time over feasible blockings.
+        plan = SWGemmPlan(498, 64, 65)
+        assert 498 / (-(-498 // plan.blocking.mb) * plan.blocking.mb) > 0.9
+        assert plan.cost().gflops >= SWGemmPlan(249, 64, 65).cost().gflops * 0.999
+
+    def test_chosen_blocking_is_modeled_optimal(self):
+        # The chooser's objective and cost() must agree: no feasible
+        # blocking in the chooser's candidate space may beat the chosen
+        # one. (Candidates are clamped to one mesh row past each dim —
+        # the library does not pad dims far beyond their extent.)
+        for dims in [(498, 64, 65), (512, 512, 512), (8, 50000, 27)]:
+            plan = SWGemmPlan(*dims)
+            chosen = plan.cost().total_s
+            mesh = plan.params.cpe_rows
+            candidates = [mesh * x for x in (1, 2, 4, 8, 16, 24, 32, 48, 64)]
+
+            def opts(dim):
+                return [c for c in candidates if c < dim + mesh] or [mesh]
+
+            for mb in opts(dims[0]):
+                for nb in opts(dims[1]):
+                    for kb in opts(dims[2]):
+                        if not plan._ldm_fit(mb, nb, kb):
+                            continue
+                        alt = plan._cost_for(GemmBlocking(mb, nb, kb))
+                        assert chosen <= alt.total_s * (1 + 1e-12)
 
     def test_traffic_includes_panel_rereads(self):
         plan = SWGemmPlan(1024, 1024, 1024, dtype_bytes=4)
