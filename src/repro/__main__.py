@@ -8,6 +8,9 @@ experiment NAME
     Run one harness by name (``table2``, ``fig10``, ``ablations``, ...).
 profile NET [BATCH]
     Print the simulated SW26010 profile of a model-zoo network.
+trace NET [options]
+    Trace a simulated data-parallel training step; export Chrome
+    trace-event JSON for ui.perfetto.dev (see docs/observability.md).
 train [ITERS]
     Run the LeNet quickstart training loop.
 list
@@ -58,6 +61,10 @@ def _usage() -> str:
         "  report                regenerate every paper table/figure\n"
         f"  experiment NAME       one of: {', '.join(sorted(EXPERIMENTS))}\n"
         f"  profile NET [BATCH]   one of: {', '.join(sorted(NETWORKS))}\n"
+        "  trace NET [--ranks N] [--iters K] [--batch B] [--out FILE]\n"
+        "        [--scheme improved|original] [--timeline]\n"
+        "                        trace one simulated training step and\n"
+        "                        export Perfetto-loadable JSON\n"
         "  train [ITERS]         quickstart LeNet training\n"
         "  list                  show experiments and networks\n"
     )
@@ -97,6 +104,61 @@ def cmd_profile(args: list[str]) -> int:
     return 0
 
 
+def cmd_trace(args: list[str]) -> int:
+    import argparse
+    import importlib
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Trace one simulated data-parallel training step.",
+    )
+    parser.add_argument("net", choices=sorted(NETWORKS), help="model-zoo network")
+    parser.add_argument("--ranks", type=int, default=4, help="simulated nodes (default 4)")
+    parser.add_argument("--iters", type=int, default=1, help="iterations to trace")
+    parser.add_argument("--batch", type=int, default=None, help="mini-batch size")
+    parser.add_argument("--out", default="trace.json", help="Chrome trace-event output path")
+    parser.add_argument(
+        "--scheme", choices=("improved", "original"), default="improved",
+        help="allreduce rank placement (round-robin vs block)",
+    )
+    parser.add_argument(
+        "--supernode", type=int, default=None,
+        help="nodes per supernode (default: ranks/2 when even)",
+    )
+    parser.add_argument("--timeline", action="store_true", help="print the text timeline")
+    ns = parser.parse_args(args)
+
+    from repro.trace import render_attribution, render_timeline, write_chrome_json
+    from repro.trace.session import trace_training_step
+    from repro.utils.units import format_bytes, format_time
+
+    mod_path, fn_name, default_batch = NETWORKS[ns.net]
+    builder = getattr(importlib.import_module(mod_path), fn_name)
+    net = builder(batch_size=ns.batch if ns.batch is not None else default_batch)
+    tracer, summary = trace_training_step(
+        net,
+        ranks=ns.ranks,
+        iterations=ns.iters,
+        scheme=ns.scheme,
+        nodes_per_supernode=ns.supernode,
+    )
+    write_chrome_json(tracer, ns.out)
+    print(
+        f"traced {summary.iterations} iteration(s) of {summary.model!r} on "
+        f"{summary.ranks} rank(s): compute {format_time(summary.compute_s)}, "
+        f"allreduce {format_time(summary.allreduce_s)} "
+        f"({summary.allreduce_steps} steps, "
+        f"{format_bytes(summary.payload_bytes)} gradients, {summary.scheme})"
+    )
+    print(f"wrote {len(tracer.spans)} spans to {ns.out} (load in ui.perfetto.dev)")
+    print()
+    print(render_attribution(tracer))
+    if ns.timeline:
+        print()
+        print(render_timeline(tracer))
+    return 0
+
+
 def cmd_train(args: list[str]) -> int:
     from repro.frame.model_zoo import lenet
     from repro.frame.solver import SGDSolver
@@ -124,6 +186,7 @@ COMMANDS = {
     "report": cmd_report,
     "experiment": cmd_experiment,
     "profile": cmd_profile,
+    "trace": cmd_trace,
     "train": cmd_train,
     "list": cmd_list,
 }

@@ -14,6 +14,7 @@ from repro.errors import ShapeError
 from repro.frame.blob import Blob
 from repro.frame.layer import Layer, LayerCost
 from repro.kernels.plan import PlanCost
+from repro.trace.tracer import active as _tracer, emit_cost_spans, suspended
 
 
 class Net:
@@ -101,9 +102,17 @@ class Net:
         convention: the reported training loss is the weighted sum).
         """
         losses: dict[str, float] = {}
+        tr = _tracer()
         for layer in self.layers:
             bottom, top = self._io(layer)
             layer.forward(bottom, top)
+            if tr.enabled:
+                with suspended():  # keep plan-search churn out of the trace
+                    cost = layer.sw_forward_cost()
+                emit_cost_spans(
+                    tr, f"{layer.name} fwd", cost,
+                    cat="layer_fwd", args={"layer_type": layer.type},
+                )
             if getattr(layer, "is_loss", False):
                 losses[self._tops[layer.name][0]] = layer.loss_weight * float(
                     top[0].data[0]
@@ -121,9 +130,17 @@ class Net:
                 top_blob.diff = np.full(
                     top_blob.shape, layer.loss_weight, dtype=top_blob.dtype
                 )
+        tr = _tracer()
         for layer in reversed(self.layers):
             bottom, top = self._io(layer)
             layer.backward(top, bottom)
+            if tr.enabled:
+                with suspended():
+                    cost = layer.sw_backward_cost()
+                emit_cost_spans(
+                    tr, f"{layer.name} bwd", cost,
+                    cat="layer_bwd", args={"layer_type": layer.type},
+                )
 
     # ------------------------------------------------------------------ #
     # parameters

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.frame.net import Net
+from repro.trace.tracer import active as _tracer
 
 
 @dataclass
@@ -128,11 +129,21 @@ class SGDSolver:
         for _ in range(n_iters):
             self.net.zero_param_diffs()
             loss_sum = 0.0
+            iter_time = 0.0
             for _ in range(self.iter_size):
                 losses = self.net.forward()
                 self.net.backward()
                 loss_sum += sum(losses.values())
-                stats.simulated_time_s += self.net.sw_iteration_time()
+                pass_time = self.net.sw_iteration_time()
+                stats.simulated_time_s += pass_time
+                iter_time += pass_time
+            tr = _tracer()
+            if tr.enabled:
+                tr.emit(
+                    f"iter {self.iter}", "solver_iter", track="solver",
+                    dur=iter_time,
+                    args={"lr": self.learning_rate(), "iter_size": self.iter_size},
+                )
             if self.iter_size > 1:
                 for p in self.net.params:
                     p.diff = p.diff / self.iter_size

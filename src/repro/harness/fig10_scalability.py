@@ -86,8 +86,42 @@ def render(points: list[ScalingPoint] | None = None) -> str:
     return table.render() + "\n\n" + plot
 
 
-def main() -> None:  # pragma: no cover
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry; ``--trace FILE`` exports a per-rank timeline of one config.
+
+    The scaling table itself is analytic; the trace drills into one
+    configuration (``--config``, default "AlexNet, B=128") at a small rank
+    count (``--ranks``), emitting every rank's layer/DMA/RLC spans and the
+    gradient allreduce steps.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Fig. 10 weak-scaling study")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write Chrome trace-event JSON of one config's iteration",
+    )
+    parser.add_argument(
+        "--config", default="AlexNet, B=128", choices=[c[0] for c in CONFIGS],
+        help="which curve to trace",
+    )
+    parser.add_argument("--ranks", type=int, default=8, help="ranks to trace")
+    ns = parser.parse_args(argv)
     print(render())
+    if ns.trace:
+        from repro import trace
+        from repro.trace.session import trace_training_step
+
+        (builder, batch) = next(
+            (b, n) for label, b, n in CONFIGS if label == ns.config
+        )
+        net = builder(batch_size=batch)
+        tracer, summary = trace_training_step(net, ranks=ns.ranks)
+        trace.write_chrome_json(tracer, ns.trace)
+        print(
+            f"traced {ns.config!r} on {summary.ranks} ranks: wrote "
+            f"{len(tracer.spans)} spans to {ns.trace} (load in ui.perfetto.dev)"
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

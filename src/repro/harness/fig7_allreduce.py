@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import trace
 from repro.simmpi import SimComm, block_placement, rhd_allreduce, round_robin_placement
 from repro.simmpi.collectives import improved_allreduce_cost, original_allreduce_cost
 from repro.topology import LinearCostModel, TaihuLightFabric
@@ -63,7 +64,10 @@ def generate(nbytes: int = DEFAULT_NBYTES) -> Fig7Result:
         bufs = [rng.normal(size=n_elems) for _ in range(P)]
         expected = np.sum(bufs, axis=0)
         comm = SimComm(fabric, placement, cost=MODEL)
-        res = rhd_allreduce(comm, bufs)
+        # When tracing is enabled, each scheme's per-rank collective steps
+        # land under their own track group ("original/rank3/collective").
+        with trace.active().context(scheme):
+            res = rhd_allreduce(comm, bufs)
         exact = all(np.allclose(b, expected, rtol=1e-10) for b in bufs)
         results[scheme] = (res, exact)
         reference = expected if reference is None else reference
@@ -106,8 +110,23 @@ def render(result: Fig7Result | None = None) -> str:
     return table.render() + "\n" + footer
 
 
-def main() -> None:  # pragma: no cover
-    print(render())
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry; ``--trace FILE`` exports the executed collectives' spans."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Fig. 7 allreduce example")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write Chrome trace-event JSON of both schemes' collective steps",
+    )
+    ns = parser.parse_args(argv)
+    if ns.trace:
+        with trace.tracing() as tr:
+            print(render())
+        trace.write_chrome_json(tr, ns.trace)
+        print(f"wrote {len(tr.spans)} spans to {ns.trace} (load in ui.perfetto.dev)")
+    else:
+        print(render())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.hw.clock import SimClock
 from repro.hw.ldm import LDMAllocator
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.trace.tracer import active as _tracer
 
 
 @dataclass
@@ -54,7 +55,16 @@ class CPE:
 
     def charge_compute(self, flops: float, efficiency: float = 1.0) -> None:
         """Advance the clock by a compute phase."""
-        self.clock.advance(self.compute_time(flops, efficiency), category="compute")
+        dt = self.compute_time(flops, efficiency)
+        tr = _tracer()
+        if tr.enabled:
+            tr.emit(
+                "cpe_compute", "cpe_compute", track="cpe",
+                start=self.clock.now, dur=dt,
+                args={"flops": flops, "efficiency": efficiency,
+                      "cpe": f"({self.row},{self.col})"},
+            )
+        self.clock.advance(dt, category="compute")
 
     def simd_efficiency(self, vector_len: int, dtype_bytes: int = 8) -> float:
         """Fraction of SIMD lanes useful for a given inner vector length.

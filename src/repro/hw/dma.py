@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.hw.clock import SimClock
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.trace.tracer import active as _tracer
 
 
 class DMAMode(enum.Enum):
@@ -149,9 +150,15 @@ class DMAEngine:
         """
         out = np.ascontiguousarray(src).copy()
         per_cpe = out.nbytes / n_cpes
-        self.clock.advance(
-            self.transfer_time(per_cpe, n_cpes, block_bytes=block_bytes), category="dma"
-        )
+        dt = self.transfer_time(per_cpe, n_cpes, block_bytes=block_bytes)
+        tr = _tracer()
+        if tr.enabled:
+            tr.emit(
+                "dma_get", "dma_transfer", track="dma",
+                start=self.clock.now, dur=dt,
+                args={"bytes": int(out.nbytes), "n_cpes": n_cpes},
+            )
+        self.clock.advance(dt, category="dma")
         return out
 
     def put(
@@ -167,6 +174,12 @@ class DMAEngine:
             raise ValueError(f"dma_put shape mismatch: {src.shape} -> {dst.shape}")
         np.copyto(dst, src)
         per_cpe = src.nbytes / n_cpes
-        self.clock.advance(
-            self.transfer_time(per_cpe, n_cpes, block_bytes=block_bytes), category="dma"
-        )
+        dt = self.transfer_time(per_cpe, n_cpes, block_bytes=block_bytes)
+        tr = _tracer()
+        if tr.enabled:
+            tr.emit(
+                "dma_put", "dma_transfer", track="dma",
+                start=self.clock.now, dur=dt,
+                args={"bytes": int(src.nbytes), "n_cpes": n_cpes},
+            )
+        self.clock.advance(dt, category="dma")

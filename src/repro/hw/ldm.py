@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.errors import LDMAllocationError
 from repro.hw.spec import SW_PARAMS
+from repro.trace.tracer import active as _tracer
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,12 @@ class LDMAllocator:
         self._buffers[name] = buf
         self._used += nbytes
         self._high_water = max(self._high_water, self._used)
+        tr = _tracer()
+        if tr.enabled:
+            tr.instant_event(
+                f"ldm_alloc {name}", "ldm_alloc", track="ldm",
+                args={"nbytes": nbytes, "used": self._used, "free": self.free},
+            )
         return buf
 
     def require(self, name: str, nbytes: int) -> LDMBuffer:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.trace.tracer import active as _tracer
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,7 @@ class MeshSimulator:
             prior = [t for s, t in step_done[r][c].items() if s < step]
             return max(prior) if prior else 0.0
 
+        tr = _tracer()
         for op in ops:
             r, c = op.src
             if op.kind == "compute":
@@ -118,6 +120,12 @@ class MeshSimulator:
                 dur = op.flops / (self.params.cpe_peak_flops * op.efficiency)
                 finish = start + dur
                 cpe_ready[r][c] = finish
+                if tr.enabled:
+                    tr.emit(
+                        f"compute s{op.step}", "cpe_compute",
+                        track=f"mesh/cpe_r{r}c{c}", start=start, dur=dur,
+                        args={"flops": op.flops, "step": op.step},
+                    )
             else:
                 bus = self._bus_of(op)
                 rate = self._bcast_rate if op.kind.endswith("bcast") else self._p2p_rate
@@ -130,6 +138,12 @@ class MeshSimulator:
                 finish = start + dur
                 bus_free[bus] = finish
                 bus_busy[bus] = bus_busy.get(bus, 0.0) + dur
+                if tr.enabled:
+                    tr.emit(
+                        f"{op.kind} s{op.step}", "rlc_exchange",
+                        track=f"mesh/{bus}", start=start, dur=dur,
+                        args={"bytes": op.nbytes, "src": f"({r},{c})", "step": op.step},
+                    )
                 # Sender is free once the (asynchronous) send is issued;
                 # receivers become data-ready at message completion.
                 receivers: list[tuple[int, int]]

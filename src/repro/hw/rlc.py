@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.hw.clock import SimClock
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.trace.tracer import active as _tracer
 
 
 class RegisterComm:
@@ -63,8 +64,24 @@ class RegisterComm:
 
     def charge_p2p(self, nbytes: float, n_concurrent: int = 1) -> None:
         """Advance the clock by a P2P transfer."""
-        self.clock.advance(self.p2p_time(nbytes, n_concurrent), category="rlc")
+        dt = self.p2p_time(nbytes, n_concurrent)
+        tr = _tracer()
+        if tr.enabled:
+            tr.emit(
+                "rlc_p2p", "rlc_exchange", track="rlc",
+                start=self.clock.now, dur=dt,
+                args={"bytes": nbytes, "n_concurrent": n_concurrent},
+            )
+        self.clock.advance(dt, category="rlc")
 
     def charge_broadcast(self, nbytes: float, n_concurrent: int = 1) -> None:
         """Advance the clock by a broadcast transfer."""
-        self.clock.advance(self.broadcast_time(nbytes, n_concurrent), category="rlc")
+        dt = self.broadcast_time(nbytes, n_concurrent)
+        tr = _tracer()
+        if tr.enabled:
+            tr.emit(
+                "rlc_bcast", "rlc_exchange", track="rlc",
+                start=self.clock.now, dur=dt,
+                args={"bytes": nbytes, "n_concurrent": n_concurrent},
+            )
+        self.clock.advance(dt, category="rlc")

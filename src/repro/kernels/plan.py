@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.hw.core_group import CoreGroup
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.trace.tracer import active as _tracer, emit_cost_spans
 
 
 #: Work-saturation knee for convolution kernel invocations, in FLOPs.
@@ -126,6 +127,20 @@ class KernelPlan(abc.ABC):
     @abc.abstractmethod
     def cost(self) -> PlanCost:
         """Simulated time for one invocation on one core group."""
+
+    def traced_cost(self, label: str | None = None) -> PlanCost:
+        """Price one invocation and emit its breakdown as trace spans.
+
+        When tracing is enabled (see :mod:`repro.trace`), the invocation
+        appears as a ``plan_cost`` span on the ``plan`` track with its
+        compute/DMA/RLC components as child spans on the resource tracks;
+        with tracing disabled this is exactly :meth:`cost`.
+        """
+        cost = self.cost()
+        tr = _tracer()
+        if tr.enabled:
+            emit_cost_spans(tr, label or self.name, cost, cat="plan_cost", track="plan")
+        return cost
 
     def time_s(self) -> float:
         """Convenience: total simulated seconds."""

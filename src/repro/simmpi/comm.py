@@ -20,6 +20,7 @@ from repro.hw.spec import SW_PARAMS
 from repro.topology.cost_model import LinearCostModel
 from repro.topology.fabric import TaihuLightFabric
 from repro.simmpi.process import Placement
+from repro.trace.tracer import active as _tracer
 
 
 def reduce_gamma(engine: str = "cpe") -> float:
@@ -151,5 +152,23 @@ class SimComm:
         if reduce_bytes > 0:
             step_time += self.reduce_time(reduce_bytes)
             result.reduce_bytes += reduce_bytes
+        tr = _tracer()
+        if tr.enabled:
+            # One lockstep round: every participating rank is busy for the
+            # full step on its own collective track.
+            step_idx = result.steps
+            for a, b, nbytes in pairs:
+                for rank, partner in ((a, b), (b, a)):
+                    tr.emit(
+                        f"step{step_idx}", "collective_step",
+                        track=f"rank{rank}/collective",
+                        start=self.clock.now, dur=step_time,
+                        args={
+                            "partner": partner,
+                            "bytes": nbytes,
+                            "cross_supernode": self.crosses_supernode(a, b),
+                            "reduce_bytes": reduce_bytes,
+                        },
+                    )
         result.add_step(step_time)
         self.clock.advance(step_time, category="comm")

@@ -1,0 +1,90 @@
+"""Event-trace observability for the simulated swCaffe stack.
+
+``repro.trace`` records *what the simulator spent its simulated time on* as
+typed spans — DMA transfers, register-bus exchanges, CPE compute, LDM
+allocations, collective steps, layer passes, solver iterations — collected
+from instrumentation hooks in ``repro.hw``, ``repro.kernels``,
+``repro.simmpi`` and ``repro.frame``. Tracing is off by default (a no-op
+null tracer) and never changes simulated-time results.
+
+Typical use::
+
+    from repro import trace
+
+    with trace.tracing() as tr:
+        solver.step(3)                      # or any traced workload
+    trace.write_chrome_json(tr, "trace.json")   # open in ui.perfetto.dev
+    print(trace.render_attribution(tr))         # bottleneck summary
+    print(trace.render_timeline(tr))            # terminal timeline
+
+or, end to end from the CLI::
+
+    python -m repro trace vgg16 --ranks 4 --out trace.json
+
+See ``docs/observability.md`` for the span taxonomy and the Perfetto
+workflow.
+"""
+
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SPAN_CATEGORIES,
+    Span,
+    Tracer,
+    active,
+    emit_cost_spans,
+    install,
+    suspended,
+    tracing,
+)
+from repro.trace.export import to_chrome, validate_chrome, write_chrome_json
+from repro.trace.timeline import render_timeline
+from repro.trace.attribution import (
+    AttributionReport,
+    GroupAttribution,
+    attribute,
+    render_attribution,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SPAN_CATEGORIES",
+    "Span",
+    "Tracer",
+    "active",
+    "emit_cost_spans",
+    "install",
+    "suspended",
+    "tracing",
+    "to_chrome",
+    "validate_chrome",
+    "write_chrome_json",
+    "render_timeline",
+    "AttributionReport",
+    "GroupAttribution",
+    "attribute",
+    "render_attribution",
+]
+
+# ``repro.trace.session`` pulls in the simmpi/topology stack; it is loaded
+# lazily so hardware-model modules can import this package for their
+# instrumentation hooks without creating an import cycle.
+_SESSION_EXPORTS = (
+    "SessionSummary",
+    "replay_rhd",
+    "trace_net_iteration",
+    "trace_training_step",
+)
+__all__ += list(_SESSION_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _SESSION_EXPORTS or name == "session":
+        import importlib
+
+        session = importlib.import_module("repro.trace.session")
+        if name == "session":
+            return session
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

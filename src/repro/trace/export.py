@@ -1,0 +1,179 @@
+"""Chrome trace-event JSON export (Perfetto-loadable).
+
+Renders a :class:`~repro.trace.tracer.Tracer` as the JSON object format of
+the Trace Event specification: complete ``"X"`` events for spans, ``"i"``
+instant events, and ``"M"`` metadata naming processes and threads. Load the
+file at https://ui.perfetto.dev (or ``chrome://tracing``).
+
+Track mapping: the first ``/``-segment of a track becomes the *process*
+(one per simulated rank, or ``mesh``/``node`` for single-node traces), the
+remainder the *thread* (one per resource: ``cpe``, ``dma``, ``rlc``,
+``collective``, ...), so a 4-rank trace renders as four process groups each
+with its resource swimlanes.
+
+:func:`validate_chrome` is the self-check the golden-file test runs — a
+minimal structural validator of the format this module promises to emit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.trace.tracer import Span, Tracer
+
+#: Preferred top-to-bottom thread ordering inside one process.
+_THREAD_ORDER = (
+    "solver",
+    "layers",
+    "plan",
+    "cpe",
+    "dma",
+    "rlc",
+    "ldm",
+    "collective",
+)
+
+
+def _split_track(track: str) -> tuple[str, str]:
+    """``rank0/dma`` -> (process ``rank0``, thread ``dma``)."""
+    head, sep, rest = track.partition("/")
+    return (head, rest) if sep else (head, head)
+
+
+def _thread_sort_index(thread: str) -> int:
+    leaf = thread.rsplit("/", 1)[-1]
+    try:
+        return _THREAD_ORDER.index(leaf)
+    except ValueError:
+        return len(_THREAD_ORDER)
+
+
+def to_chrome(tracer: Tracer | list[Span]) -> dict[str, Any]:
+    """Build the Chrome trace-event JSON object for a tracer's spans."""
+    spans = tracer.spans if isinstance(tracer, Tracer) else list(tracer)
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict[str, Any]] = []
+    meta: list[dict[str, Any]] = []
+
+    for span in spans:
+        process, thread = _split_track(span.track)
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[process],
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        key = (process, thread)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pids[process],
+                    "tid": tids[key],
+                    "args": {"name": thread},
+                }
+            )
+            meta.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": pids[process],
+                    "tid": tids[key],
+                    "args": {"sort_index": _thread_sort_index(thread)},
+                }
+            )
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "i" if span.instant else "X",
+            # The format's timestamps are microseconds.
+            "ts": span.start_s * 1e6,
+            "pid": pids[process],
+            "tid": tids[key],
+        }
+        if span.instant:
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["dur"] = span.dur_s * 1e6
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.trace (simulated SW26010 time)"},
+    }
+
+
+def write_chrome_json(tracer: Tracer | list[Span], path: str) -> str:
+    """Serialize :func:`to_chrome` to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome(tracer), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def validate_chrome(obj: Any) -> list[str]:
+    """Structural checks of the Chrome trace-event JSON object format.
+
+    Returns a list of problem descriptions (empty = valid). Checks the
+    invariants Perfetto's importer relies on: a ``traceEvents`` list whose
+    entries carry ``name``/``ph``/``ts``/``pid``/``tid``, non-negative
+    durations on complete events, and named processes/threads for every
+    (pid, tid) that appears.
+    """
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be a JSON object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    named_pids: set[int] = set()
+    named_tids: set[tuple[int, int]] = set()
+    used_pids: set[int] = set()
+    used_tids: set[tuple[int, int]] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                errors.append(f"event {i}: missing {field!r}")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+            elif ev.get("name") == "thread_name":
+                named_tids.add((ev.get("pid"), ev.get("tid")))
+            continue
+        if ph not in ("X", "i", "B", "E"):
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i}: complete event with bad dur {dur!r}")
+        used_pids.add(ev.get("pid"))
+        used_tids.add((ev.get("pid"), ev.get("tid")))
+    for pid in sorted(used_pids - named_pids):
+        errors.append(f"pid {pid} has events but no process_name metadata")
+    for pid, tid in sorted(used_tids - named_tids):
+        errors.append(f"(pid {pid}, tid {tid}) has events but no thread_name metadata")
+    try:
+        json.dumps(obj)
+    except (TypeError, ValueError) as exc:
+        errors.append(f"not JSON-serializable: {exc}")
+    return errors

@@ -1,0 +1,66 @@
+"""Per-iteration text timeline: a trace rendered for the terminal.
+
+The Perfetto export is the rich view; this renderer answers the quick
+question — "where did this simulated iteration's time go?" — without
+leaving the shell. Spans are grouped by track, listed chronologically with
+start/duration, and indented one step per level of containment within the
+track (a layer span contains nothing on its own track, but a
+reduce-scatter step nests visually under its collective parent when both
+share a track).
+"""
+
+from __future__ import annotations
+
+from repro.trace.tracer import Span, Tracer
+from repro.utils.units import format_time
+
+
+def _format_args(span: Span, max_len: int = 48) -> str:
+    if not span.args:
+        return ""
+    body = ", ".join(f"{k}={v}" for k, v in span.args.items())
+    if len(body) > max_len:
+        body = body[: max_len - 3] + "..."
+    return f"  {{{body}}}"
+
+
+def render_timeline(
+    tracer: Tracer | list[Span],
+    *,
+    max_spans_per_track: int = 40,
+    show_args: bool = True,
+) -> str:
+    """Render the trace as grouped, chronological text.
+
+    Long tracks are truncated to ``max_spans_per_track`` entries with an
+    elision marker (traces of full nets run to thousands of spans; the
+    text view is for orientation, not completeness).
+    """
+    spans = tracer.spans if isinstance(tracer, Tracer) else list(tracer)
+    if not spans:
+        return "(empty trace)"
+    by_track: dict[str, list[Span]] = {}
+    for s in spans:
+        by_track.setdefault(s.track, []).append(s)
+    lines: list[str] = []
+    for track in sorted(by_track):
+        track_spans = sorted(by_track[track], key=lambda s: (s.start_s, -s.dur_s))
+        lines.append(f"== {track} ({len(track_spans)} spans) ==")
+        shown = track_spans[:max_spans_per_track]
+        open_ends: list[float] = []
+        for s in shown:
+            # Containment-based indentation within the track.
+            while open_ends and s.start_s >= open_ends[-1] - 1e-15:
+                open_ends.pop()
+            indent = "  " * len(open_ends)
+            if not s.instant:
+                open_ends.append(s.end_s)
+            stamp = f"[{format_time(s.start_s):>9} +{format_time(s.dur_s):>9}]"
+            if s.instant:
+                stamp = f"[{format_time(s.start_s):>9}  (instant)]"
+            args = _format_args(s) if show_args else ""
+            lines.append(f"  {stamp} {indent}{s.name} <{s.cat}>{args}")
+        hidden = len(track_spans) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more spans")
+    return "\n".join(lines)

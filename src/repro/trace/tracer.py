@@ -1,0 +1,369 @@
+"""The tracer: typed spans on the simulated clock.
+
+A :class:`Tracer` collects :class:`Span` records — named, categorised
+intervals on named *tracks* — from instrumentation hooks spread through the
+hardware model (``repro.hw``), the kernel plans, the simulated MPI layer and
+the training framework. Time is always *simulated* seconds (the same
+numbers :class:`~repro.hw.clock.SimClock` accumulates), never wall clock,
+so traces are deterministic and reproducible.
+
+Tracks are ``/``-separated paths (``rank0/dma``, ``mesh/row3``); the first
+segment becomes the Perfetto *process*, the rest the *thread*, giving the
+one-track-per-rank/resource layout the exporters render.
+
+Tracing is ambient and off by default: :func:`active` returns a shared
+:class:`NullTracer` whose every method is a no-op, so instrumentation costs
+one attribute check when disabled and never perturbs simulated-time
+arithmetic (pinned by ``tests/test_trace_integration.py``). Enable it with
+:func:`tracing`::
+
+    from repro import trace
+
+    with trace.tracing() as tr:
+        run_workload()
+    trace.write_chrome_json(tr, "trace.json")
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+
+#: The span taxonomy. Instrumentation sites use these categories; exporters
+#: and the attribution summary group by them. See ``docs/observability.md``.
+SPAN_CATEGORIES = (
+    "dma_transfer",  # DMAEngine get/put between DDR3 and LDM
+    "rlc_exchange",  # register-bus P2P / broadcast on the CPE mesh
+    "cpe_compute",   # CPE pipeline work
+    "ldm_alloc",     # instant: LDM buffer reservation
+    "collective_step",  # one lockstep round of a simulated collective
+    "layer_fwd",     # one layer's forward pass
+    "layer_bwd",     # one layer's backward pass
+    "solver_iter",   # one full solver iteration
+    "plan_cost",     # a kernel plan's priced invocation
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval (or instant event) on a track.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label ("dma_get", "conv1_1 fwd", "step3", ...).
+    cat:
+        One of :data:`SPAN_CATEGORIES` (free-form strings are allowed for
+        extensions; exporters pass them through).
+    track:
+        Resolved ``/``-separated track path.
+    start_s, dur_s:
+        Simulated start time and duration in seconds.
+    args:
+        Optional metadata (bytes moved, bandwidth, partner rank, ...).
+    instant:
+        True for zero-duration point events (e.g. ``ldm_alloc``).
+    """
+
+    name: str
+    cat: str
+    track: str
+    start_s: float
+    dur_s: float = 0.0
+    args: Mapping[str, Any] | None = None
+    instant: bool = False
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.dur_s
+
+
+class Tracer:
+    """Collects spans with a per-track time cursor.
+
+    Two emission styles coexist:
+
+    * **cursor-driven** (``start=None``): the span starts at the track's
+      current cursor and advances it by ``dur`` — sequential layout, used
+      by analytic instrumentation (layer costs, solver iterations) that
+      has durations but no clock;
+    * **clock-driven** (explicit ``start``): the span is pinned at a
+      simulated-clock timestamp (plus the tracer's current offset) and the
+      cursor only ratchets forward — used by clocked instrumentation
+      (DMA engine, register comm, communicator steps).
+
+    The cursor of a track never moves backwards, which is the per-track
+    monotonicity invariant the unit tests pin.
+    """
+
+    #: Instrumentation sites check this before doing any work.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._cursors: dict[str, float] = defaultdict(float)
+        self._prefix: list[str] = []
+        self._offset: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # track context
+    # ------------------------------------------------------------------ #
+    def resolve(self, track: str) -> str:
+        """Full track path: the current context prefix joined to ``track``.
+
+        A leading ``/`` makes ``track`` absolute (the prefix is ignored).
+        """
+        if track.startswith("/"):
+            return track[1:]
+        if not self._prefix:
+            return track
+        return "/".join(self._prefix) + "/" + track
+
+    @contextmanager
+    def context(self, prefix: str) -> Iterator[None]:
+        """Prefix all relative tracks emitted inside the block.
+
+        Contexts nest: ``context("rank0")`` then ``context("cg1")`` yields
+        tracks like ``rank0/cg1/dma``.
+        """
+        self._prefix.append(prefix)
+        try:
+            yield
+        finally:
+            self._prefix.pop()
+
+    @contextmanager
+    def shifted(self, offset_s: float) -> Iterator[None]:
+        """Add ``offset_s`` to explicit (clock-driven) start times.
+
+        Lets a session place a clocked phase (e.g. a collective whose
+        :class:`SimClock` starts at zero) after an already-emitted compute
+        phase on the shared timeline.
+        """
+        previous = self._offset
+        self._offset = previous + float(offset_s)
+        try:
+            yield
+        finally:
+            self._offset = previous
+
+    def cursor(self, track: str) -> float:
+        """Current cursor (end of the latest span) of a track."""
+        return self._cursors[self.resolve(track)]
+
+    def end_time(self) -> float:
+        """Latest span end across all tracks (0.0 when empty)."""
+        return max(self._cursors.values(), default=0.0)
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        *,
+        track: str = "main",
+        start: float | None = None,
+        dur: float = 0.0,
+        args: Mapping[str, Any] | None = None,
+        instant: bool = False,
+    ) -> Span:
+        """Record one span; see the class docstring for start semantics."""
+        if dur < 0:
+            raise ValueError(f"span duration must be >= 0, got {dur!r}")
+        resolved = self.resolve(track)
+        if start is None:
+            start_s = self._cursors[resolved]
+        else:
+            start_s = float(start) + self._offset
+        span = Span(
+            name=name,
+            cat=cat,
+            track=resolved,
+            start_s=start_s,
+            dur_s=float(dur),
+            args=dict(args) if args else None,
+            instant=instant,
+        )
+        self.spans.append(span)
+        end = start_s + span.dur_s
+        if end > self._cursors[resolved]:
+            self._cursors[resolved] = end
+        return span
+
+    def instant_event(
+        self,
+        name: str,
+        cat: str,
+        *,
+        track: str = "main",
+        start: float | None = None,
+        args: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """Record a zero-duration point event."""
+        return self.emit(name, cat, track=track, start=start, args=args, instant=True)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str,
+        *,
+        track: str = "main",
+        dur: float | None = None,
+        args: Mapping[str, Any] | None = None,
+    ) -> Iterator[None]:
+        """Cursor-driven nesting: the span covers everything emitted inside.
+
+        The span starts at the track's cursor; children emitted inside the
+        block (on the same track or below it) extend the parent, whose
+        duration at exit is the cursor advance — unless ``dur`` is given,
+        which also ratchets the cursor so siblings follow sequentially.
+        """
+        resolved = self.resolve(track)
+        start = self._cursors[resolved]
+        yield
+        if dur is None:
+            # Children may have advanced deeper tracks; cover them too.
+            descendant_end = max(
+                (
+                    end
+                    for t, end in self._cursors.items()
+                    if t == resolved or t.startswith(resolved + "/")
+                ),
+                default=start,
+            )
+            dur = max(descendant_end - start, 0.0)
+        self.emit(name, cat, track="/" + resolved, start=start - self._offset, dur=dur, args=args)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def by_category(self, cat: str) -> list[Span]:
+        """All spans of one category, in emission order."""
+        return [s for s in self.spans if s.cat == cat]
+
+    def tracks(self) -> list[str]:
+        """Sorted list of every track that received a span."""
+        return sorted({s.track for s in self.spans})
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumentation guards on :attr:`enabled`, so with the null tracer
+    installed the per-call cost is one function call and one attribute
+    check — and no simulated-time arithmetic ever depends on it.
+    """
+
+    enabled = False
+
+    def emit(self, name: str, cat: str, **kwargs: Any) -> Span:  # type: ignore[override]
+        raise RuntimeError("NullTracer.emit called; guard instrumentation with `if tracer.enabled`")
+
+    @contextmanager
+    def context(self, prefix: str) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def shifted(self, offset_s: float) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def span(self, name: str, cat: str, **kwargs: Any) -> Iterator[None]:
+        yield
+
+
+def emit_cost_spans(
+    tracer: Tracer,
+    name: str,
+    cost: Any,
+    *,
+    cat: str = "plan_cost",
+    track: str = "layers",
+    args: Mapping[str, Any] | None = None,
+) -> Span | None:
+    """Emit a priced invocation as a parent span plus component children.
+
+    ``cost`` is any :class:`~repro.kernels.plan.PlanCost`-shaped object
+    (``compute_s`` / ``dma_s`` / ``rlc_s`` / ``total_s`` / ``flops`` /
+    ``dma_bytes``). The parent lands on ``track`` at its cursor; the
+    compute/DMA/RLC components land on the sibling resource tracks
+    (``cpe``, ``dma``, ``rlc``) pinned at the parent's start — they overlap
+    each other, which is exactly the dual-pipeline rule
+    (``total = max(compute, dma, rlc) + overhead``) made visible.
+    """
+    if not tracer.enabled:
+        return None
+    start = tracer.cursor(track)
+    merged: dict[str, Any] = {
+        "flops": cost.flops,
+        "dma_bytes": cost.dma_bytes,
+        "overhead_s": cost.overhead_s,
+    }
+    if args:
+        merged.update(args)
+    parent = tracer.emit(name, cat, track=track, dur=cost.total_s, args=merged)
+    components = (
+        ("cpe", "cpe_compute", cost.compute_s),
+        ("dma", "dma_transfer", cost.dma_s),
+        ("rlc", "rlc_exchange", cost.rlc_s),
+    )
+    for comp_track, comp_cat, dur in components:
+        if dur > 0:
+            tracer.emit(
+                name,
+                comp_cat,
+                track=comp_track,
+                start=start - tracer._offset,
+                dur=dur,
+                args={"of": cat},
+            )
+    return parent
+
+
+#: Shared disabled tracer; identity-compared by tests.
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+
+
+def active() -> Tracer:
+    """The ambient tracer (the shared :data:`NULL_TRACER` when disabled)."""
+    return _active
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` ambient; returns the previously installed one."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Enable tracing for the block; yields the (possibly new) tracer."""
+    tr = tracer if tracer is not None else Tracer()
+    previous = install(tr)
+    try:
+        yield tr
+    finally:
+        install(previous)
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Temporarily disable tracing (e.g. around plan-search churn)."""
+    previous = install(NULL_TRACER)
+    try:
+        yield
+    finally:
+        install(previous)

@@ -1,0 +1,36 @@
+"""The documentation stays consistent: tier-1 wrapper around the checker.
+
+``tools/check_docs_links.py`` (also a CI step) asserts that every
+relative markdown link resolves and that every ``src/repro/*`` package is
+reachable from ``docs/index.md``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs_links", ROOT / "tools" / "check_docs_links.py"
+)
+check_docs_links = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs_links)
+
+
+def test_all_doc_links_resolve_and_packages_are_indexed():
+    problems = check_docs_links.check_links(ROOT)
+    assert problems == []
+
+
+def test_checker_detects_breakage(tmp_path):
+    """The checker itself can fail (a checker that cannot fail proves nothing)."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro" / "ghost").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "ghost" / "__init__.py").write_text("")
+    (tmp_path / "README.md").write_text("[gone](docs/nope.md)\n")
+    (tmp_path / "docs" / "index.md").write_text("# index\nno links here\n")
+    problems = check_docs_links.check_links(tmp_path)
+    assert any("broken link" in p for p in problems)
+    assert any("ghost" in p for p in problems)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Docs link checker (stdlib only; run by CI and tests/test_docs_links.py).
+
+Two guarantees:
+
+1. every relative markdown link in the repo's documentation resolves to
+   an existing file or directory (http/mailto/pure-anchor links are
+   skipped; ``#fragment`` suffixes are stripped before resolving);
+2. every package under ``src/repro/`` is reachable from the
+   documentation landing page ``docs/index.md`` — a new subsystem must
+   be added to the index before CI goes green.
+
+Usage: ``python tools/check_docs_links.py [repo_root]`` — prints one
+line per problem and exits 1 if any were found.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Markdown files checked for broken relative links.
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "docs/*.md")
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks, removed before link extraction (``[i]`` indexing
+#: and the like inside code would otherwise false-positive).
+_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def doc_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return files
+
+
+def links_in(path: pathlib.Path) -> list[str]:
+    text = _FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return _LINK_RE.findall(text)
+
+
+def is_relative(target: str) -> bool:
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return False
+    return "://" not in target
+
+
+def check_links(root: pathlib.Path) -> list[str]:
+    """All problems found (empty list = docs are consistent)."""
+    problems: list[str] = []
+    index = root / "docs" / "index.md"
+    if not index.is_file():
+        problems.append("docs/index.md is missing (the documentation landing page)")
+
+    reachable_from_index: set[pathlib.Path] = set()
+    for doc in doc_files(root):
+        for target in links_in(doc):
+            if not is_relative(target):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (doc.parent / rel).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(root)}: broken link '{target}' "
+                    f"(resolved to {resolved})"
+                )
+            elif doc == index:
+                reachable_from_index.add(resolved)
+
+    src = root / "src" / "repro"
+    for pkg in sorted(p for p in src.iterdir() if (p / "__init__.py").is_file()):
+        covered = any(
+            target == pkg.resolve() or target.is_relative_to(pkg.resolve())
+            for target in reachable_from_index
+        )
+        if not covered:
+            problems.append(
+                f"docs/index.md: package src/repro/{pkg.name} is not linked "
+                "from the documentation index"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path(__file__).resolve().parents[1]
+    problems = check_links(root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    print(f"docs OK: {len(doc_files(root))} files checked, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
