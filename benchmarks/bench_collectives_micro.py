@@ -43,9 +43,11 @@ def test_allreduce_engine(benchmark, algo, placement_fn):
     def run():
         bufs = setup_buffers()
         comm = SimComm(fabric, placement_fn(P, Q), cost=MODEL)
-        algo(comm, bufs)
-        return bufs
+        res = algo(comm, bufs)
+        return bufs, res
 
-    bufs = benchmark(run)
+    bufs, res = benchmark(run)
     expected = np.sum(setup_buffers(), axis=0)
     np.testing.assert_allclose(bufs[0], expected, rtol=1e-10)
+    benchmark.record("sim_time", res.time_s, "s")
+    benchmark.record("steps", res.steps, "steps")

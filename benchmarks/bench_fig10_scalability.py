@@ -9,4 +9,10 @@ def test_fig10_scalability(benchmark):
     points = run_once(benchmark, fig10_scalability.generate)
     at_1024 = {p.label: p.speedup for p in points if p.n_nodes == 1024}
     assert at_1024["ResNet50, B=32"] > at_1024["AlexNet, B=64"]
+    benchmark.record(
+        "resnet50_speedup_1024", at_1024["ResNet50, B=32"], "x", direction="higher"
+    )
+    benchmark.record(
+        "alexnet_speedup_1024", at_1024["AlexNet, B=64"], "x", direction="higher"
+    )
     print("\n" + fig10_scalability.render(points))

@@ -8,4 +8,10 @@ def test_fig2_dma_curves(benchmark):
     assert set(panels) == {"continuous", "strided"}
     series = {s.label: s for s in panels["continuous"]}
     assert series["64CPE"].bandwidth_gbs[-1] > series["1CPE"].bandwidth_gbs[-1]
+    benchmark.record(
+        "dma_64cpe_peak", series["64CPE"].bandwidth_gbs[-1], "GB/s", direction="higher"
+    )
+    benchmark.record(
+        "dma_1cpe_peak", series["1CPE"].bandwidth_gbs[-1], "GB/s", direction="higher"
+    )
     print("\n" + fig2_dma.render(panels))

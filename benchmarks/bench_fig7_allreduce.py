@@ -11,4 +11,7 @@ def test_fig7_allreduce_example(benchmark):
     result = benchmark(fig7_allreduce.generate)
     assert result.improvement > 1.0
     assert result.reduction_exact
+    benchmark.record("original_sim_time", result.original_simulated_s, "s")
+    benchmark.record("improved_sim_time", result.improved_simulated_s, "s")
+    benchmark.record("improvement", result.improvement, "x", direction="higher")
     print("\n" + fig7_allreduce.render(result))

@@ -6,4 +6,11 @@ from repro.harness import naive_port
 def test_naive_port_motivation(benchmark):
     rows = benchmark(naive_port.generate)
     assert all(r.swcaffe_s < r.naive_mpe_s for r in rows)
+    benchmark.record("total_swcaffe_sim_time", sum(r.swcaffe_s for r in rows), "s")
+    benchmark.record(
+        "min_speedup_vs_mpe",
+        min(r.naive_mpe_s / r.swcaffe_s for r in rows),
+        "x",
+        direction="higher",
+    )
     print("\n" + naive_port.render(rows))

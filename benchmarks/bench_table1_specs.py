@@ -6,4 +6,8 @@ from repro.harness import table1_specs
 def test_table1_specs(benchmark):
     rows = benchmark(table1_specs.generate)
     assert len(rows) == 3
+    sw = next(r for r in rows if "SW26010" in str(r["name"]))
+    benchmark.record("sw_bandwidth", sw["bandwidth_gbs"], "GB/s", direction="higher")
+    benchmark.record("sw_double_perf", sw["double_tflops"], "TFlops", direction="higher")
+    benchmark.record("sw_flop_per_byte", sw["flop_per_byte"], "F/B", direction="higher")
     print("\n" + table1_specs.render(rows))

@@ -8,4 +8,13 @@ def test_table2_vgg_conv(benchmark):
     assert len(rows) == 13
     winners = {r.name: r.forward.winner for r in rows}
     assert winners["1_2"] == "implicit" and winners["3_1"] == "explicit"
+    benchmark.record(
+        "total_forward_best", sum(r.forward.best_s for r in rows), "s"
+    )
+    benchmark.record(
+        "implicit_forward_wins",
+        sum(1 for r in rows if r.forward.winner == "implicit"),
+        "layers",
+        direction="higher",
+    )
     print("\n" + table2_vgg_conv.render(rows))

@@ -10,4 +10,7 @@ def test_table3_throughput(benchmark):
     by_name = {r.network: r for r in rows}
     assert by_name["AlexNet"].sw_over_gpu > 1.0
     assert by_name["VGG-16"].sw_over_gpu < 1.0
+    for row in rows:
+        key = row.network.lower().replace("-", "").replace(" ", "_")
+        benchmark.record(f"{key}_sw_img_s", row.sw_img_s, "img/s", direction="higher")
     print("\n" + table3_throughput.render(rows))

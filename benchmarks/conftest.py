@@ -1,11 +1,63 @@
-"""Shared benchmark configuration.
+"""Shared benchmark configuration: the ``repro-bench`` runner.
 
-Every benchmark regenerates one of the paper's tables/figures; heavyweight
-harnesses (whole-network builds) run as single-round pedantic benchmarks so
-`pytest benchmarks/ --benchmark-only` finishes in minutes, not hours.
+Every benchmark regenerates one of the paper's tables/figures. The
+``benchmark`` fixture defined here (overriding pytest-benchmark's, which is
+not required at run time) is a :class:`repro.metrics.benchrun.BenchTimer`:
+it times the call, and tests additionally :meth:`~BenchTimer.record`
+*deterministic* metrics — simulated seconds, modeled bandwidths, speedups —
+which are bit-stable across machines.
+
+At session end every result lands in one ``BENCH_<suite>.json`` per module
+(schema ``repro-bench/1``, see ``docs/benchmarks.md``) under ``--bench-out``
+(default ``benchmarks/results/``), diffable against a committed baseline
+with ``tools/bench_compare.py``.
 """
 
 from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.metrics.benchrun import BenchCollector  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-out",
+        default=str(_REPO_ROOT / "benchmarks" / "results"),
+        help="directory for BENCH_<suite>.json result files",
+    )
+
+
+def pytest_configure(config):
+    config._repro_bench = BenchCollector(config.getoption("--bench-out"))
+
+
+@pytest.fixture
+def benchmark(request):
+    """One test's timer; results accumulate into the session collector."""
+    suite = request.module.__name__.removeprefix("bench_")
+    return request.config._repro_bench.timer(suite, request.node.name)
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):
+    collector = getattr(session.config, "_repro_bench", None)
+    if collector is None or not collector.n_cases:
+        return
+    paths = collector.write(_REPO_ROOT)
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    if tr is not None and paths:
+        tr.write_line(
+            f"repro-bench: wrote {len(paths)} suite file(s) to "
+            f"{paths[0].parent} ({collector.n_cases} case(s))"
+        )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -11,6 +11,10 @@ profile NET [BATCH]
 trace NET [options]
     Trace a simulated data-parallel training step; export Chrome
     trace-event JSON for ui.perfetto.dev (see docs/observability.md).
+metrics NET [options]
+    Measure the same step: per-resource utilization counters and the
+    per-layer roofline classification (text, ``--json``, or a Perfetto
+    trace with counter tracks via ``--trace``).
 train [ITERS]
     Run the LeNet quickstart training loop.
 list
@@ -39,6 +43,7 @@ EXPERIMENTS = {
     "memory": "repro.harness.memory_budget",
     "straggler": "repro.harness.straggler_study",
     "allreduce-sweep": "repro.harness.allreduce_sweep",
+    "roofline": "repro.harness.roofline_report",
 }
 
 #: Network name -> (builder path, default batch).
@@ -65,9 +70,23 @@ def _usage() -> str:
         "        [--scheme improved|original] [--timeline]\n"
         "                        trace one simulated training step and\n"
         "                        export Perfetto-loadable JSON\n"
+        "  metrics NET [--ranks N] [--iters K] [--batch B] [--json FILE]\n"
+        "        [--trace FILE] [--scheme improved|original] [--supernode Q]\n"
+        "                        per-resource utilization + per-layer\n"
+        "                        roofline of the same simulated step\n"
         "  train [ITERS]         quickstart LeNet training\n"
         "  list                  show experiments and networks\n"
     )
+
+
+def _fail(what: str, got: str, known: dict) -> int:
+    """Exit-2 path for an unknown command/experiment/network name."""
+    print(
+        f"error: unknown {what} {got!r} (choose from: {', '.join(sorted(known))})",
+        file=sys.stderr,
+    )
+    print("run `python -m repro --help` for usage", file=sys.stderr)
+    return 2
 
 
 def cmd_report(_: list[str]) -> int:
@@ -78,9 +97,12 @@ def cmd_report(_: list[str]) -> int:
 
 
 def cmd_experiment(args: list[str]) -> int:
-    if not args or args[0] not in EXPERIMENTS:
-        print(_usage(), file=sys.stderr)
+    if not args:
+        print("error: experiment needs a name", file=sys.stderr)
+        print(f"known experiments: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
+    if args[0] not in EXPERIMENTS:
+        return _fail("experiment", args[0], EXPERIMENTS)
     import importlib
 
     module = importlib.import_module(EXPERIMENTS[args[0]])
@@ -89,15 +111,22 @@ def cmd_experiment(args: list[str]) -> int:
 
 
 def cmd_profile(args: list[str]) -> int:
-    if not args or args[0] not in NETWORKS:
-        print(_usage(), file=sys.stderr)
+    if not args:
+        print("error: profile needs a network name", file=sys.stderr)
+        print(f"known networks: {', '.join(sorted(NETWORKS))}", file=sys.stderr)
         return 2
+    if args[0] not in NETWORKS:
+        return _fail("network", args[0], NETWORKS)
     import importlib
 
     from repro.utils.profiler import NetProfiler
 
     mod_path, fn_name, default_batch = NETWORKS[args[0]]
-    batch = int(args[1]) if len(args) > 1 else default_batch
+    try:
+        batch = int(args[1]) if len(args) > 1 else default_batch
+    except ValueError:
+        print(f"error: batch must be an integer, got {args[1]!r}", file=sys.stderr)
+        return 2
     builder = getattr(importlib.import_module(mod_path), fn_name)
     net = builder(batch_size=batch)
     print(NetProfiler(net).render())
@@ -159,6 +188,61 @@ def cmd_trace(args: list[str]) -> int:
     return 0
 
 
+def cmd_metrics(args: list[str]) -> int:
+    import argparse
+    import importlib
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description=(
+            "Measure one simulated data-parallel training step: per-resource "
+            "utilization counters and per-layer roofline classification."
+        ),
+    )
+    parser.add_argument("net", choices=sorted(NETWORKS), help="model-zoo network")
+    parser.add_argument("--ranks", type=int, default=4, help="simulated nodes (default 4)")
+    parser.add_argument("--iters", type=int, default=1, help="iterations to measure")
+    parser.add_argument("--batch", type=int, default=None, help="mini-batch size")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the machine-readable report")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="also write Chrome trace-event JSON with counter tracks")
+    parser.add_argument(
+        "--scheme", choices=("improved", "original"), default="improved",
+        help="allreduce rank placement (round-robin vs block)",
+    )
+    parser.add_argument(
+        "--supernode", type=int, default=None,
+        help="nodes per supernode (default: ranks/2 when even)",
+    )
+    ns = parser.parse_args(args)
+
+    from repro.metrics.export import write_chrome_json_with_metrics
+    from repro.metrics.session import collect_training_step
+    from repro.trace.tracer import Tracer
+
+    mod_path, fn_name, default_batch = NETWORKS[ns.net]
+    builder = getattr(importlib.import_module(mod_path), fn_name)
+    net = builder(batch_size=ns.batch if ns.batch is not None else default_batch)
+    tracer = Tracer() if ns.trace else None
+    report = collect_training_step(
+        net,
+        ranks=ns.ranks,
+        iterations=ns.iters,
+        scheme=ns.scheme,
+        nodes_per_supernode=ns.supernode,
+        tracer=tracer,
+    )
+    print(report.render())
+    if ns.json:
+        report.write_json(ns.json)
+        print(f"\nwrote metrics report to {ns.json}")
+    if ns.trace:
+        write_chrome_json_with_metrics(tracer, ns.trace)
+        print(f"wrote {len(tracer.spans)} spans + counter tracks to {ns.trace}")
+    return 0
+
+
 def cmd_train(args: list[str]) -> int:
     from repro.frame.model_zoo import lenet
     from repro.frame.solver import SGDSolver
@@ -187,6 +271,7 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "profile": cmd_profile,
     "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "train": cmd_train,
     "list": cmd_list,
 }
@@ -198,8 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         print(_usage())
         return 0
     if argv[0] not in COMMANDS:
-        print(_usage(), file=sys.stderr)
-        return 2
+        return _fail("command", argv[0], COMMANDS)
     return COMMANDS[argv[0]](argv[1:])
 
 

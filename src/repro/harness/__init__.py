@@ -19,6 +19,7 @@ values for each.
 | ``fig11_comm_ratio`` | Fig. 11 — communication fractions |
 | ``ablations`` | DESIGN.md §4 design-choice ablations |
 | ``naive_port`` | Sec. III motivation: naive port vs redesign |
+| ``roofline_report`` | extension — per-layer roofline attribution |
 | ``report`` | run everything in paper order |
 """
 
@@ -35,5 +36,6 @@ __all__ = [
     "fig11_comm_ratio",
     "ablations",
     "naive_port",
+    "roofline_report",
     "report",
 ]

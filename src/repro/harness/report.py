@@ -21,6 +21,7 @@ from repro.harness import (
     inference_throughput,
     memory_budget,
     naive_port,
+    roofline_report,
     straggler_study,
     table1_specs,
     table2_vgg_conv,
@@ -44,6 +45,7 @@ SECTIONS = (
     ("Extension: inference throughput", inference_throughput),
     ("Extension: memory budget", memory_budget),
     ("Extension: straggler study", straggler_study),
+    ("Extension: roofline attribution", roofline_report),
 )
 
 

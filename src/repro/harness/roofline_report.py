@@ -1,0 +1,45 @@
+"""Extension: roofline attribution of the paper's workload networks.
+
+Classifies every layer of AlexNet and VGG-16 (the networks behind Figs. 8/9
+and Table III) as compute-, DMA- or RLC-bound on one SW26010 core group,
+with its achieved fraction of the binding resource's ceiling. The summary
+line per network answers the question the paper's per-layer figures imply:
+where does the simulated time actually go, and which resource would an
+optimisation have to attack first?
+"""
+
+from __future__ import annotations
+
+from repro.frame.model_zoo import alexnet, vgg
+from repro.metrics.roofline import LayerRoofline, net_roofline, render_roofline
+
+#: (title, builder, batch) — the Table III operating points.
+NETWORKS = (
+    ("AlexNet", alexnet.build, 256),
+    ("VGG-16", vgg.build_vgg16, 64),
+)
+
+
+def generate() -> dict[str, list[LayerRoofline]]:
+    """Per-layer roofline rows for every report network."""
+    out: dict[str, list[LayerRoofline]] = {}
+    for title, builder, batch in NETWORKS:
+        net = builder(batch_size=batch)
+        out[title] = net_roofline(net)
+    return out
+
+
+def render(rows: dict[str, list[LayerRoofline]] | None = None) -> str:
+    rows = rows if rows is not None else generate()
+    return "\n\n".join(
+        render_roofline(layers, title=f"{title} roofline attribution (batch={batch})")
+        for (title, _, batch), layers in zip(NETWORKS, rows.values())
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.hw.clock import SimClock
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.metrics.registry import active as _metrics
 from repro.trace.tracer import active as _tracer
 
 
@@ -158,6 +159,7 @@ class DMAEngine:
                 start=self.clock.now, dur=dt,
                 args={"bytes": int(out.nbytes), "n_cpes": n_cpes},
             )
+        self._record_metrics("get", out.nbytes, dt)
         self.clock.advance(dt, category="dma")
         return out
 
@@ -182,4 +184,16 @@ class DMAEngine:
                 start=self.clock.now, dur=dt,
                 args={"bytes": int(src.nbytes), "n_cpes": n_cpes},
             )
+        self._record_metrics("put", src.nbytes, dt)
         self.clock.advance(dt, category="dma")
+
+    def _record_metrics(self, direction: str, nbytes: int, dt: float) -> None:
+        """Feed the utilization counters for one executed transfer."""
+        mx = _metrics()
+        if not mx.enabled:
+            return
+        mx.count("dma.bytes", int(nbytes), dir=direction)
+        mx.count("dma.transfers", 1)
+        mx.count("dma.busy_s", dt)
+        if dt > 0 and nbytes > 0:
+            mx.observe("dma.achieved_frac", nbytes / dt / self.params.dma_peak_bw)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.metrics.registry import active as _metrics
 from repro.trace.tracer import active as _tracer
 
 
@@ -51,6 +52,8 @@ class MeshTrace:
     finish_s: float = 0.0
     per_op_finish: list[float] = field(default_factory=list)
     bus_busy_s: dict[str, float] = field(default_factory=dict)
+    #: Per-bus serialization stalls: time ready ops spent queueing for a bus.
+    bus_wait_s: dict[str, float] = field(default_factory=dict)
 
     @property
     def max_bus_utilization(self) -> float:
@@ -100,6 +103,7 @@ class MeshSimulator:
         mesh = self.params.cpe_rows
         bus_free: dict[str, float] = {}
         bus_busy: dict[str, float] = {}
+        bus_wait: dict[str, float] = {}
         cpe_ready = [[0.0] * mesh for _ in range(mesh)]
         # Step barriers per CPE: finish time of the CPE's latest op per step.
         step_done = [[{} for _ in range(mesh)] for _ in range(mesh)]
@@ -133,11 +137,14 @@ class MeshSimulator:
                 # LDM-resident data: they wait for the bus and for the
                 # CPE's own earlier-step work, but NOT for unrelated
                 # incoming data (cpe_ready).
-                start = max(bus_free.get(bus, 0.0), dep_time(op.src, op.step))
+                ready = dep_time(op.src, op.step)
+                start = max(bus_free.get(bus, 0.0), ready)
                 dur = self._startup + op.nbytes / rate
                 finish = start + dur
                 bus_free[bus] = finish
                 bus_busy[bus] = bus_busy.get(bus, 0.0) + dur
+                # Contention stall: the op was ready but its bus was not.
+                bus_wait[bus] = bus_wait.get(bus, 0.0) + (start - ready)
                 if tr.enabled:
                     tr.emit(
                         f"{op.kind} s{op.step}", "rlc_exchange",
@@ -162,6 +169,15 @@ class MeshSimulator:
             trace.per_op_finish.append(finish)
             trace.finish_s = max(trace.finish_s, finish)
         trace.bus_busy_s = bus_busy
+        trace.bus_wait_s = bus_wait
+        mx = _metrics()
+        if mx.enabled:
+            for bus, busy in bus_busy.items():
+                mx.count("mesh.bus_busy_s", busy, bus=bus)
+            for bus, wait in bus_wait.items():
+                if wait > 0:
+                    mx.count("mesh.bus_wait_s", wait, bus=bus)
+            mx.high_water("mesh.bus_utilization", trace.max_bus_utilization)
         return trace
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.hw.clock import SimClock
 from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.metrics.registry import active as _metrics
 from repro.trace.tracer import active as _tracer
 
 
@@ -72,6 +73,7 @@ class RegisterComm:
                 start=self.clock.now, dur=dt,
                 args={"bytes": nbytes, "n_concurrent": n_concurrent},
             )
+        self._record_metrics("p2p", nbytes, n_concurrent, dt)
         self.clock.advance(dt, category="rlc")
 
     def charge_broadcast(self, nbytes: float, n_concurrent: int = 1) -> None:
@@ -84,4 +86,13 @@ class RegisterComm:
                 start=self.clock.now, dur=dt,
                 args={"bytes": nbytes, "n_concurrent": n_concurrent},
             )
+        self._record_metrics("bcast", nbytes, n_concurrent, dt)
         self.clock.advance(dt, category="rlc")
+
+    def _record_metrics(self, kind: str, nbytes: float, n_concurrent: int, dt: float) -> None:
+        """Feed the register-bus utilization counters for one charge."""
+        mx = _metrics()
+        if not mx.enabled:
+            return
+        mx.count("rlc.bytes", float(nbytes) * max(1, n_concurrent), kind=kind)
+        mx.count("rlc.busy_s", dt)

@@ -1,0 +1,227 @@
+"""The versioned ``BENCH_<suite>.json`` benchmark-result schema.
+
+Every benchmark suite (one ``benchmarks/bench_*.py`` module) serializes its
+results into one JSON document:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "suite": "bench_fig2_dma",
+      "git_sha": "527c063...",
+      "config_hash": "9f2ab41c",
+      "created_unix": 1754400000,
+      "results": [
+        {
+          "test": "test_fig2_dma_curves",
+          "metrics": [
+            {"name": "wall_time", "value": 0.42, "units": "s",
+             "direction": "lower", "deterministic": false},
+            {"name": "bw_64cpe_4KiB", "value": 22.93, "units": "GB/s",
+             "direction": "higher", "deterministic": true}
+          ]
+        }
+      ]
+    }
+
+``direction`` states which way is better; ``deterministic`` separates
+simulated/derived quantities (bit-stable across machines, safe for CI
+regression gating) from wall-clock timings (informational only —
+``tools/bench_compare.py`` skips them unless ``--include-time``).
+
+This module is intentionally dependency-light (stdlib only) so
+``tools/bench_compare.py`` can import it from any checkout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+#: Version tag; bump on breaking schema changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Filename pattern of one suite's result document.
+BENCH_FILE_PREFIX = "BENCH_"
+
+_DIRECTIONS = ("lower", "higher")
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One scalar result of one benchmark test."""
+
+    name: str
+    value: float
+    units: str = ""
+    direction: str = "lower"
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "value": float(self.value),
+            "units": self.units,
+            "direction": self.direction,
+            "deterministic": self.deterministic,
+        }
+
+
+@dataclass
+class BenchCase:
+    """All metrics recorded by one benchmark test."""
+
+    test: str
+    metrics: list[BenchMetric] = field(default_factory=list)
+
+    def add(self, metric: BenchMetric) -> None:
+        if any(m.name == metric.name for m in self.metrics):
+            raise ValueError(f"duplicate metric {metric.name!r} in {self.test}")
+        self.metrics.append(metric)
+
+
+def config_hash(parts: Iterable[str]) -> str:
+    """Short stable hash of the configuration that produced a result set."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:12]
+
+
+def git_sha(root: str | pathlib.Path | None = None) -> str:
+    """Current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_payload(
+    suite: str,
+    cases: Iterable[BenchCase],
+    *,
+    sha: str = "unknown",
+    cfg_hash: str = "",
+    created_unix: int | None = None,
+) -> dict[str, Any]:
+    """Build the schema document for one suite."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "git_sha": sha,
+        "config_hash": cfg_hash,
+        "created_unix": int(time.time()) if created_unix is None else created_unix,
+        "results": [
+            {"test": case.test, "metrics": [m.as_dict() for m in case.metrics]}
+            for case in cases
+        ],
+    }
+
+
+def write_bench_json(path: str | pathlib.Path, payload: dict[str, Any]) -> pathlib.Path:
+    """Validate and serialize one suite document; returns the path."""
+    problems = validate_bench(payload)
+    if problems:
+        raise ValueError(f"refusing to write invalid bench JSON: {problems}")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bench_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read and validate one suite document."""
+    with pathlib.Path(path).open(encoding="utf-8") as fh:
+        obj = json.load(fh)
+    problems = validate_bench(obj)
+    if problems:
+        raise ValueError(f"{path}: invalid bench JSON: {problems}")
+    return obj
+
+
+def validate_bench(obj: Any) -> list[str]:
+    """Structural checks; returns problem descriptions (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    if obj.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA!r}, got {obj.get('schema')!r}")
+    for field_name in ("suite", "git_sha", "config_hash"):
+        if not isinstance(obj.get(field_name), str):
+            problems.append(f"{field_name!r} must be a string")
+    if not isinstance(obj.get("created_unix"), int):
+        problems.append("'created_unix' must be an integer")
+    results = obj.get("results")
+    if not isinstance(results, list):
+        return problems + ["'results' must be a list"]
+    for i, res in enumerate(results):
+        if not isinstance(res, dict) or not isinstance(res.get("test"), str):
+            problems.append(f"results[{i}]: needs a string 'test'")
+            continue
+        metrics = res.get("metrics")
+        if not isinstance(metrics, list):
+            problems.append(f"results[{i}]: 'metrics' must be a list")
+            continue
+        seen: set[str] = set()
+        for j, m in enumerate(metrics):
+            where = f"results[{i}].metrics[{j}]"
+            if not isinstance(m, dict):
+                problems.append(f"{where}: not an object")
+                continue
+            name = m.get("name")
+            if not isinstance(name, str) or not name:
+                problems.append(f"{where}: needs a non-empty 'name'")
+            elif name in seen:
+                problems.append(f"{where}: duplicate metric {name!r}")
+            else:
+                seen.add(name)
+            if not isinstance(m.get("value"), (int, float)):
+                problems.append(f"{where}: 'value' must be a number")
+            if m.get("direction") not in _DIRECTIONS:
+                problems.append(f"{where}: 'direction' must be one of {_DIRECTIONS}")
+            if not isinstance(m.get("deterministic"), bool):
+                problems.append(f"{where}: 'deterministic' must be a bool")
+    return problems
+
+
+def iter_metrics(obj: dict[str, Any]) -> Iterator[tuple[str, dict[str, Any]]]:
+    """Yield ``(test_name, metric_dict)`` pairs of a validated document."""
+    for res in obj["results"]:
+        for metric in res["metrics"]:
+            yield res["test"], metric
+
+
+def load_result_set(path: str | pathlib.Path) -> dict[str, dict[str, Any]]:
+    """Load a ``BENCH_*.json`` file or a directory of them, keyed by suite."""
+    p = pathlib.Path(path)
+    files = (
+        sorted(p.glob(f"{BENCH_FILE_PREFIX}*.json")) if p.is_dir() else [p]
+    )
+    if not files:
+        raise FileNotFoundError(f"no {BENCH_FILE_PREFIX}*.json files under {p}")
+    out: dict[str, dict[str, Any]] = {}
+    for f in files:
+        obj = load_bench_json(f)
+        out[obj["suite"]] = obj
+    return out

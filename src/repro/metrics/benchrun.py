@@ -1,0 +1,145 @@
+"""The shared benchmark runner behind ``benchmarks/conftest.py``.
+
+Every ``benchmarks/bench_*.py`` test receives a :class:`BenchTimer` as its
+``benchmark`` fixture (the conftest overrides pytest-benchmark's fixture of
+the same name, so no external plugin is needed at run time). The timer:
+
+* times the benchmarked callable once (wall clock, recorded as the
+  non-deterministic ``wall_time`` metric);
+* exposes :meth:`BenchTimer.record` for *deterministic* metrics — simulated
+  seconds, modeled bandwidths, speedups — which are bit-stable across
+  machines and therefore what ``tools/bench_compare.py`` gates CI on;
+* keeps the ``benchmark(fn, *args)`` / ``benchmark.pedantic(...)`` calling
+  conventions, so existing suites run unmodified.
+
+A session-scoped :class:`BenchCollector` gathers every case and writes one
+``BENCH_<suite>.json`` per module (schema: :mod:`repro.metrics.benchfmt`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+from typing import Any, Callable
+
+from repro.metrics.benchfmt import (
+    BenchCase,
+    BenchMetric,
+    bench_payload,
+    config_hash,
+    git_sha,
+    write_bench_json,
+)
+
+
+class BenchTimer:
+    """The ``benchmark`` fixture object handed to one test."""
+
+    def __init__(self, case: BenchCase) -> None:
+        self._case = case
+        #: Free-form annotations (kept for pytest-benchmark API compatibility;
+        #: serialized nowhere).
+        self.extra_info: dict[str, Any] = {}
+
+    def __call__(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Time one call of ``fn`` and return its result."""
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        self._record_wall(time.perf_counter() - t0)
+        return out
+
+    def pedantic(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict[str, Any] | None = None,
+        rounds: int = 1,
+        iterations: int = 1,
+        **_ignored: Any,
+    ) -> Any:
+        """pytest-benchmark-compatible single-shot timing."""
+        kwargs = kwargs or {}
+        out = None
+        t0 = time.perf_counter()
+        for _ in range(max(1, rounds) * max(1, iterations)):
+            out = fn(*args, **kwargs)
+        self._record_wall(time.perf_counter() - t0)
+        return out
+
+    def _record_wall(self, seconds: float) -> None:
+        if any(m.name == "wall_time" for m in self._case.metrics):
+            return  # keep the first timing if a test calls benchmark twice
+        self._case.add(
+            BenchMetric(
+                name="wall_time",
+                value=seconds,
+                units="s",
+                direction="lower",
+                deterministic=False,
+            )
+        )
+
+    def record(
+        self,
+        name: str,
+        value: float,
+        units: str = "",
+        *,
+        direction: str = "lower",
+        deterministic: bool = True,
+    ) -> None:
+        """Record one named result metric for this test."""
+        self._case.add(
+            BenchMetric(
+                name=name,
+                value=float(value),
+                units=units,
+                direction=direction,
+                deterministic=deterministic,
+            )
+        )
+
+
+class BenchCollector:
+    """Session-wide accumulation of benchmark cases, grouped by suite."""
+
+    def __init__(self, out_dir: str | pathlib.Path) -> None:
+        self.out_dir = pathlib.Path(out_dir)
+        self._suites: dict[str, list[BenchCase]] = {}
+
+    def timer(self, suite: str, test: str) -> BenchTimer:
+        """Create (and register) the timer for one test."""
+        case = BenchCase(test=test)
+        self._suites.setdefault(suite, []).append(case)
+        return BenchTimer(case)
+
+    @property
+    def n_cases(self) -> int:
+        return sum(len(cases) for cases in self._suites.values())
+
+    def write(self, repo_root: str | pathlib.Path | None = None) -> list[pathlib.Path]:
+        """Write one ``BENCH_<suite>.json`` per suite; returns the paths.
+
+        Suites whose cases recorded nothing (e.g. every test skipped) are
+        omitted. The config hash covers the interpreter version and the
+        suite's test list, so a changed benchmark set is distinguishable
+        from a changed result.
+        """
+        sha = git_sha(repo_root)
+        paths: list[pathlib.Path] = []
+        for suite, cases in sorted(self._suites.items()):
+            cases = [c for c in cases if c.metrics]
+            if not cases:
+                continue
+            payload = bench_payload(
+                suite,
+                cases,
+                sha=sha,
+                cfg_hash=config_hash(
+                    [f"python{sys.version_info.major}.{sys.version_info.minor}", suite]
+                    + sorted(c.test for c in cases)
+                ),
+            )
+            paths.append(write_bench_json(self.out_dir / f"BENCH_{suite}.json", payload))
+        return paths

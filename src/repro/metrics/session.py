@@ -1,0 +1,323 @@
+"""Metrics sessions: per-resource utilization of a simulated training step.
+
+The counterpart of :mod:`repro.trace.session`: instead of a span timeline,
+:func:`collect_training_step` produces a :class:`MetricsReport` — per-resource
+busy time and achieved-vs-peak utilization, the per-layer roofline table,
+the gradient allreduce's wire traffic, and a snapshot of every counter the
+instrumentation hooks fed during the run.
+
+The workload is the same one the trace CLI simulates: every rank runs
+``iterations`` identical data-parallel training iterations (layer costs on
+one core group), then synchronizes gradients with the recursive
+halving/doubling allreduce over a TaihuLight fabric. When a
+:class:`~repro.trace.tracer.Tracer` is supplied the session also emits the
+span timeline, from the *same* cost objects that feed the counters — which
+is what makes the trace/metrics DMA-byte consistency pin possible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hw.spec import SW26010Params, SW_PARAMS
+from repro.metrics.registry import MetricsRegistry, collecting
+from repro.metrics.roofline import (
+    LayerRoofline,
+    bound_summary,
+    classify_cost,
+    render_roofline,
+)
+from repro.simmpi.comm import SimComm
+from repro.simmpi.reorder import block_placement, round_robin_placement
+from repro.topology.fabric import TaihuLightFabric
+from repro.trace.session import replay_rhd
+from repro.trace.tracer import Tracer, emit_cost_spans, tracing
+from repro.utils.tables import Table
+from repro.utils.units import format_bytes, format_time
+
+#: Version tag of the JSON document ``python -m repro metrics --json`` emits.
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """One resource's totals over the session.
+
+    ``busy_s`` is the resource's busy time within one rank's timeline;
+    ``busy_frac`` divides by the session's simulated wall time;
+    ``achieved`` / ``peak`` / ``ceiling_frac`` express the achieved rate
+    while busy against the hardware ceiling (units depend on the resource).
+    """
+
+    name: str
+    busy_s: float
+    busy_frac: float
+    achieved: float = 0.0
+    peak: float = 0.0
+    units: str = ""
+
+    @property
+    def ceiling_frac(self) -> float:
+        return self.achieved / self.peak if self.peak > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "busy_s": self.busy_s,
+            "busy_frac": self.busy_frac,
+            "achieved": self.achieved,
+            "peak": self.peak,
+            "ceiling_frac": self.ceiling_frac,
+            "units": self.units,
+        }
+
+
+@dataclass
+class MetricsReport:
+    """Everything one metrics session measured."""
+
+    model: str
+    ranks: int
+    iterations: int
+    scheme: str
+    wall_s: float
+    compute_s: float
+    allreduce_s: float
+    allreduce_steps: int
+    payload_bytes: float
+    wire_bytes_intra: float
+    wire_bytes_cross: float
+    resources: dict[str, ResourceUtilization] = field(default_factory=dict)
+    layers: list[LayerRoofline] = field(default_factory=list)
+    counters: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "schema": METRICS_SCHEMA,
+            "model": self.model,
+            "ranks": self.ranks,
+            "iterations": self.iterations,
+            "scheme": self.scheme,
+            "wall_s": self.wall_s,
+            "compute_s": self.compute_s,
+            "allreduce_s": self.allreduce_s,
+            "allreduce_steps": self.allreduce_steps,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": {
+                "intra_supernode": self.wire_bytes_intra,
+                "cross_supernode": self.wire_bytes_cross,
+            },
+            "resources": {k: v.as_dict() for k, v in self.resources.items()},
+            "layers": [row.as_dict() for row in self.layers],
+            "bound_summary_s": bound_summary(self.layers),
+            "counters": self.counters,
+        }
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def render(self) -> str:
+        """Terminal rendering: utilization table + per-layer roofline."""
+        table = Table(
+            headers=("resource", "busy", "busy%", "achieved", "peak", "% ceiling"),
+            title=(
+                f"resource utilization: {self.model!r} x{self.iterations} iter "
+                f"on {self.ranks} rank(s), wall {format_time(self.wall_s)} "
+                f"(compute {format_time(self.compute_s)}, "
+                f"allreduce {format_time(self.allreduce_s)})"
+            ),
+        )
+        for name, res in self.resources.items():
+            table.add_row(
+                name,
+                format_time(res.busy_s),
+                f"{100 * res.busy_frac:.0f}",
+                f"{res.achieved:.3g}" if res.achieved else "-",
+                f"{res.peak:.3g}" if res.peak else "-",
+                f"{100 * res.ceiling_frac:.1f}" if res.peak else "-",
+            )
+        wire = (
+            f"allreduce wire traffic per rank: "
+            f"{format_bytes(self.wire_bytes_intra)} intra-supernode, "
+            f"{format_bytes(self.wire_bytes_cross)} cross-supernode "
+            f"({self.allreduce_steps} steps, "
+            f"{format_bytes(self.payload_bytes)} gradients, {self.scheme})"
+        )
+        return "\n\n".join([table.render(), wire, render_roofline(self.layers)])
+
+
+def collect_training_step(
+    net,
+    *,
+    ranks: int = 4,
+    iterations: int = 1,
+    scheme: str = "improved",
+    nodes_per_supernode: int | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    params: SW26010Params | None = None,
+) -> MetricsReport:
+    """Measure one simulated data-parallel training step of ``net``.
+
+    Mirrors :func:`repro.trace.session.trace_training_step`'s workload and
+    placement rules. Layer costs feed the registry (and, when ``tracer``
+    is given, the span timeline) once per rank per iteration; the gradient
+    allreduce runs through :func:`replay_rhd`, whose ``account_step`` hooks
+    feed the ``comm.*`` counters.
+    """
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    if scheme not in ("improved", "original"):
+        raise ValueError(f"scheme must be 'improved' or 'original', got {scheme!r}")
+    p = params or SW_PARAMS
+    mx = registry if registry is not None else MetricsRegistry()
+    tr = tracer if tracer is not None else Tracer()
+    emit_trace = tracer is not None
+
+    q = nodes_per_supernode
+    if q is None:
+        q = ranks // 2 if ranks % 2 == 0 and ranks > 2 else ranks
+    if ranks % q != 0:
+        raise ValueError(f"ranks={ranks} must be a multiple of nodes_per_supernode={q}")
+
+    # Price every layer exactly once (plan search is deterministic but not
+    # cheap); the same cost objects feed rows, counters and spans.
+    priced: list[tuple[LayerRoofline, Any]] = []
+    for layer, cost in net.sw_layer_costs():
+        for direction, c in (("fwd", cost.forward), ("bwd", cost.backward)):
+            if c.total_s <= 0:
+                continue
+            priced.append((_roofline_row(layer, direction, c, p), c))
+    rows = [row for row, _ in priced]
+    per_iter_s = sum(r.total_s for r in rows)
+    payload = float(net.param_bytes())
+
+    with collecting(mx):
+        # --- compute phase: identical on every rank ----------------------- #
+        for rank in range(ranks):
+            with mx.labelled(rank=str(rank)):
+                for _ in range(iterations):
+                    for row, c in priced:
+                        mx.count("layer.passes", 1, dir=row.direction,
+                                 layer_type=row.layer_type)
+                        if c.compute_s > 0:
+                            mx.count("cpe.busy_s", c.compute_s)
+                        if c.flops > 0:
+                            mx.count("cpe.flops", c.flops)
+                        if c.dma_s > 0 or c.dma_bytes > 0:
+                            mx.count("dma.bytes", c.dma_bytes, dir="model")
+                            mx.count("dma.busy_s", c.dma_s)
+                        if c.rlc_s > 0:
+                            mx.count("rlc.busy_s", c.rlc_s)
+            if emit_trace:
+                with tr.context(f"rank{rank}"):
+                    for _ in range(iterations):
+                        for row, c in priced:
+                            emit_cost_spans(
+                                tr, f"{row.layer} {row.direction}", c,
+                                cat=f"layer_{row.direction}",
+                                args={"layer_type": row.layer_type},
+                            )
+
+        # --- allreduce phase ---------------------------------------------- #
+        fabric = TaihuLightFabric(n_nodes=ranks, nodes_per_supernode=q)
+        placement = (
+            round_robin_placement(ranks, q)
+            if scheme == "improved"
+            else block_placement(ranks, q)
+        )
+        allreduce_s = 0.0
+        steps = 0
+        intra = cross = 0.0
+        if ranks > 1:
+            for i in range(iterations):
+                comm = SimComm(fabric, placement)
+                with mx.labelled(collective="rhd"):
+                    if emit_trace:
+                        with tracing(tr), tr.shifted(
+                            per_iter_s * (i + 1) + allreduce_s
+                        ):
+                            res = replay_rhd(comm, payload)
+                    else:
+                        res = replay_rhd(comm, payload)
+                allreduce_s += res.time_s
+                steps += res.steps
+                intra += res.bytes_intra
+                cross += res.bytes_cross
+
+    compute_s = per_iter_s * iterations
+    wall_s = compute_s + allreduce_s
+
+    # --- per-rank resource totals (ranks are symmetric) ------------------- #
+    busy = {
+        "cpe": sum(c.compute_s for _, c in priced) * iterations,
+        "dma": sum(c.dma_s for _, c in priced) * iterations,
+        "rlc": sum(c.rlc_s for _, c in priced) * iterations,
+    }
+    flops = sum(r.flops for r in rows) * iterations
+    dma_bytes = sum(r.dma_bytes for r in rows) * iterations
+    resources = {
+        "cpe": ResourceUtilization(
+            name="cpe",
+            busy_s=busy["cpe"],
+            busy_frac=busy["cpe"] / wall_s if wall_s else 0.0,
+            achieved=flops / busy["cpe"] / 1e9 if busy["cpe"] else 0.0,
+            peak=p.cg_cpe_peak_flops / 1e9,
+            units="GFlop/s",
+        ),
+        "dma": ResourceUtilization(
+            name="dma",
+            busy_s=busy["dma"],
+            busy_frac=busy["dma"] / wall_s if wall_s else 0.0,
+            achieved=dma_bytes / busy["dma"] / 1e9 if busy["dma"] else 0.0,
+            peak=p.dma_peak_bw / 1e9,
+            units="GB/s",
+        ),
+        "rlc": ResourceUtilization(
+            name="rlc",
+            busy_s=busy["rlc"],
+            busy_frac=busy["rlc"] / wall_s if wall_s else 0.0,
+        ),
+        "network": ResourceUtilization(
+            name="network",
+            busy_s=allreduce_s,
+            busy_frac=allreduce_s / wall_s if wall_s else 0.0,
+            achieved=(
+                (intra + cross) / allreduce_s / 1e9 if allreduce_s else 0.0
+            ),
+            units="GB/s",
+        ),
+    }
+
+    return MetricsReport(
+        model=net.name,
+        ranks=ranks,
+        iterations=iterations,
+        scheme=scheme,
+        wall_s=wall_s,
+        compute_s=compute_s,
+        allreduce_s=allreduce_s,
+        allreduce_steps=steps,
+        payload_bytes=payload,
+        wire_bytes_intra=intra,
+        wire_bytes_cross=cross,
+        resources=resources,
+        layers=rows,
+        counters=mx.snapshot(),
+    )
+
+
+def _roofline_row(layer, direction: str, cost, params: SW26010Params) -> LayerRoofline:
+    return LayerRoofline(
+        layer=layer.name,
+        layer_type=layer.type,
+        direction=direction,
+        total_s=cost.total_s,
+        flops=cost.flops,
+        dma_bytes=cost.dma_bytes,
+        verdict=classify_cost(cost, params),
+    )

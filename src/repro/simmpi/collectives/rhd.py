@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.metrics.registry import active as _metrics
 from repro.simmpi.comm import CollectiveResult, SimComm
 from repro.simmpi.collectives.reduce_ops import block_offsets, check_buffers, finalize
 
@@ -38,6 +39,13 @@ def rhd_allreduce(
     comm: SimComm, buffers: list[np.ndarray], *, average: bool = False
 ) -> CollectiveResult:
     """In-place recursive halving/doubling allreduce."""
+    with _metrics().labelled(collective="rhd"):
+        return _rhd_allreduce(comm, buffers, average=average)
+
+
+def _rhd_allreduce(
+    comm: SimComm, buffers: list[np.ndarray], *, average: bool = False
+) -> CollectiveResult:
     p = comm.p
     if len(buffers) != p:
         raise ValueError(f"expected {p} buffers, got {len(buffers)}")

@@ -19,6 +19,7 @@ from repro.hw.clock import SimClock
 from repro.hw.spec import SW_PARAMS
 from repro.topology.cost_model import LinearCostModel
 from repro.topology.fabric import TaihuLightFabric
+from repro.metrics.registry import active as _metrics
 from repro.simmpi.process import Placement
 from repro.trace.tracer import active as _tracer
 
@@ -170,5 +171,11 @@ class SimComm:
                             "reduce_bytes": reduce_bytes,
                         },
                     )
+        mx = _metrics()
+        if mx.enabled:
+            mx.count("comm.steps", 1)
+            mx.count("comm.bytes", max_bytes, link="cross" if any_cross else "intra")
+            if reduce_bytes > 0:
+                mx.count("comm.reduce_bytes", reduce_bytes)
         result.add_step(step_time)
         self.clock.advance(step_time, category="comm")

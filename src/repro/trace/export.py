@@ -156,12 +156,19 @@ def validate_chrome(obj: Any) -> list[str]:
             elif ev.get("name") == "thread_name":
                 named_tids.add((ev.get("pid"), ev.get("tid")))
             continue
-        if ph not in ("X", "i", "B", "E"):
+        if ph not in ("X", "i", "B", "E", "C"):
             errors.append(f"event {i}: unknown phase {ph!r}")
             continue
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             errors.append(f"event {i}: bad ts {ts!r}")
+        if ph == "C":
+            # Counter events attach to a process track, not a thread; they
+            # carry their sample values in args and need no thread_name.
+            if not isinstance(ev.get("args"), dict):
+                errors.append(f"event {i}: counter event without args")
+            used_pids.add(ev.get("pid"))
+            continue
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:

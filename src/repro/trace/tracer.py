@@ -312,11 +312,11 @@ def emit_cost_spans(
         merged.update(args)
     parent = tracer.emit(name, cat, track=track, dur=cost.total_s, args=merged)
     components = (
-        ("cpe", "cpe_compute", cost.compute_s),
-        ("dma", "dma_transfer", cost.dma_s),
-        ("rlc", "rlc_exchange", cost.rlc_s),
+        ("cpe", "cpe_compute", cost.compute_s, {"flops": cost.flops}),
+        ("dma", "dma_transfer", cost.dma_s, {"bytes": cost.dma_bytes}),
+        ("rlc", "rlc_exchange", cost.rlc_s, {}),
     )
-    for comp_track, comp_cat, dur in components:
+    for comp_track, comp_cat, dur, extra in components:
         if dur > 0:
             tracer.emit(
                 name,
@@ -324,7 +324,7 @@ def emit_cost_spans(
                 track=comp_track,
                 start=start - tracer._offset,
                 dur=dur,
-                args={"of": cat},
+                args={"of": cat, **extra},
             )
     return parent
 

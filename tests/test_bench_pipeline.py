@@ -1,0 +1,201 @@
+"""Tests for the benchmark result schema, runner, and regression gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.metrics.benchfmt import (
+    BENCH_SCHEMA,
+    BenchCase,
+    BenchMetric,
+    bench_payload,
+    config_hash,
+    load_bench_json,
+    load_result_set,
+    validate_bench,
+    write_bench_json,
+)
+from repro.metrics.benchrun import BenchCollector, BenchTimer
+
+_TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))
+import bench_compare  # noqa: E402
+
+
+def _payload(suite="demo", **metric_values):
+    case = BenchCase(test="test_demo")
+    for name, value in metric_values.items():
+        case.add(BenchMetric(name=name, value=value, units="s"))
+    return bench_payload(suite, [case], cfg_hash=config_hash(["demo"]))
+
+
+class TestBenchFormat:
+    def test_round_trip_validates(self, tmp_path):
+        payload = _payload(sim_time=1.5)
+        path = write_bench_json(tmp_path / "BENCH_demo.json", payload)
+        loaded = load_bench_json(path)
+        assert validate_bench(loaded) == []
+        assert loaded["schema"] == BENCH_SCHEMA
+        assert loaded["results"][0]["metrics"][0]["value"] == 1.5
+
+    def test_metric_direction_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            BenchMetric(name="x", value=1.0, units="", direction="sideways")
+
+    def test_duplicate_metric_name_rejected(self):
+        case = BenchCase(test="t")
+        case.add(BenchMetric(name="x", value=1.0, units=""))
+        with pytest.raises(ValueError, match="duplicate"):
+            case.add(BenchMetric(name="x", value=2.0, units=""))
+
+    def test_validate_flags_malformed(self):
+        assert validate_bench({"schema": "other/1"})
+        payload = _payload(sim_time=1.0)
+        payload["results"][0]["metrics"][0].pop("value")
+        assert validate_bench(payload)
+
+    def test_config_hash_stable_and_sensitive(self):
+        assert config_hash(["a", "b"]) == config_hash(["a", "b"])
+        assert config_hash(["a", "b"]) != config_hash(["a", "c"])
+        assert config_hash(["ab"]) != config_hash(["a", "b"])  # \x00-joined
+
+    def test_load_result_set_file_and_dir(self, tmp_path):
+        path = write_bench_json(tmp_path / "BENCH_demo.json", _payload(sim_time=1.0))
+        assert set(load_result_set(path)) == {"demo"}
+        assert set(load_result_set(tmp_path)) == {"demo"}
+        empty = tmp_path / "empty_dir"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_result_set(empty)
+
+
+class TestBenchRunner:
+    def test_timer_records_wall_time_once(self):
+        case = BenchCase(test="t")
+        timer = BenchTimer(case)
+        assert timer(lambda: 42) == 42
+        assert timer(lambda: 43) == 43  # second call must not re-add wall_time
+        walls = [m for m in case.metrics if m.name == "wall_time"]
+        assert len(walls) == 1
+        assert not walls[0].deterministic
+
+    def test_pedantic_runs_rounds(self):
+        calls = []
+        case = BenchCase(test="t")
+        timer = BenchTimer(case)
+        timer.pedantic(lambda x: calls.append(x), args=(1,), rounds=3, iterations=2)
+        assert len(calls) == 6
+
+    def test_record_deterministic_metric(self):
+        case = BenchCase(test="t")
+        timer = BenchTimer(case)
+        timer.record("steps", 12, "steps", direction="lower")
+        (m,) = [m for m in case.metrics if m.name == "steps"]
+        assert m.deterministic and m.value == 12
+
+    def test_collector_writes_one_file_per_suite(self, tmp_path):
+        out = tmp_path / "results"
+        collector = BenchCollector(out)
+        collector.timer("alpha", "test_a").record("x", 1, "")
+        collector.timer("beta", "test_b").record("y", 2, "")
+        collector.timer("gamma", "test_empty")  # no metrics: skipped
+        paths = collector.write(tmp_path)
+        assert sorted(p.name for p in paths) == ["BENCH_alpha.json", "BENCH_beta.json"]
+        for p in paths:
+            assert validate_bench(json.loads(p.read_text())) == []
+
+
+class TestBenchCompare:
+    def test_identical_sets_pass(self):
+        base = {"demo": _payload(sim_time=1.0)}
+        regs, imps, notes = bench_compare.compare(base, base)
+        assert regs == [] and imps == [] and notes == []
+
+    def test_lower_direction_increase_regresses(self):
+        base = {"demo": _payload(sim_time=1.0)}
+        cand = {"demo": _payload(sim_time=1.2)}
+        regs, _, _ = bench_compare.compare(base, cand, rel_tol=0.10)
+        assert len(regs) == 1 and "sim_time" in regs[0]
+
+    def test_within_tolerance_passes(self):
+        base = {"demo": _payload(sim_time=1.0)}
+        cand = {"demo": _payload(sim_time=1.05)}
+        regs, imps, _ = bench_compare.compare(base, cand, rel_tol=0.10)
+        assert regs == [] and imps == []
+
+    def test_decrease_is_improvement_not_regression(self):
+        base = {"demo": _payload(sim_time=1.0)}
+        cand = {"demo": _payload(sim_time=0.5)}
+        regs, imps, _ = bench_compare.compare(base, cand)
+        assert regs == [] and len(imps) == 1
+
+    def test_higher_direction_mirrors(self):
+        def payload(v):
+            case = BenchCase(test="t")
+            case.add(BenchMetric(name="speedup", value=v, units="x", direction="higher"))
+            return bench_payload("demo", [case])
+
+        regs, _, _ = bench_compare.compare({"demo": payload(2.0)}, {"demo": payload(1.5)})
+        assert len(regs) == 1
+        regs, imps, _ = bench_compare.compare({"demo": payload(2.0)}, {"demo": payload(3.0)})
+        assert regs == [] and len(imps) == 1
+
+    def test_missing_metric_is_regression_new_is_note(self):
+        base = {"demo": _payload(sim_time=1.0)}
+        cand = {"demo": _payload(other=1.0)}
+        regs, _, notes = bench_compare.compare(base, cand)
+        assert any("missing" in r for r in regs)
+        assert any("new metric" in n for n in notes)
+
+    def test_nondeterministic_skipped_unless_included(self):
+        def payload(v):
+            case = BenchCase(test="t")
+            case.add(
+                BenchMetric(
+                    name="wall_time", value=v, units="s", deterministic=False
+                )
+            )
+            return bench_payload("demo", [case])
+
+        base, cand = {"demo": payload(1.0)}, {"demo": payload(9.0)}
+        regs, _, _ = bench_compare.compare(base, cand)
+        assert regs == []
+        regs, _, _ = bench_compare.compare(base, cand, include_time=True)
+        assert len(regs) == 1
+
+    def test_per_metric_tolerance_override(self):
+        base = {"demo": _payload(sim_time=1.0)}
+        cand = {"demo": _payload(sim_time=1.3)}
+        regs, _, _ = bench_compare.compare(
+            base, cand, per_metric_tol={"sim_time": 0.50}
+        )
+        assert regs == []
+
+
+class TestBenchCompareCli:
+    def _write(self, tmp_path, name, value):
+        out = tmp_path / name
+        write_bench_json(out / "BENCH_demo.json", _payload(sim_time=value))
+        return str(out)
+
+    def test_exit_0_on_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base", 1.0)
+        cand = self._write(tmp_path, "cand", 1.0)
+        assert bench_compare.main([base, cand]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base", 1.0)
+        cand = self._write(tmp_path, "cand", 2.0)
+        assert bench_compare.main([base, cand]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_2_on_missing_input(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base", 1.0)
+        assert bench_compare.main([base, str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err

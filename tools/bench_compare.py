@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff two benchmark result sets and fail on regression (CI gate).
+
+Compares ``BENCH_<suite>.json`` files (schema ``repro-bench/1``, written by
+``pytest benchmarks/`` via the shared runner) metric by metric:
+
+* only **deterministic** metrics gate by default — they are simulated or
+  derived values, bit-stable across machines; ``wall_time`` and other
+  machine-dependent timings are skipped unless ``--include-time`` is given;
+* a metric with ``direction: lower`` regresses when the candidate exceeds
+  baseline by more than the tolerance; ``direction: higher`` is the mirror;
+* a baseline metric missing from the candidate is a regression (a silently
+  dropped benchmark must not turn CI green); new candidate metrics only
+  produce a note;
+* improvements beyond tolerance are reported but never fail.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE CANDIDATE [--rel-tol 0.10]
+        [--tol METRIC=REL] [--include-time] [--quiet]
+
+``BASELINE``/``CANDIDATE`` are each a directory of ``BENCH_*.json`` files
+or a single file. Exits 1 on any regression, 2 on usage/load errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.metrics.benchfmt import iter_metrics, load_result_set  # noqa: E402
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    *,
+    rel_tol: float = 0.10,
+    per_metric_tol: dict[str, float] | None = None,
+    include_time: bool = False,
+) -> tuple[list[str], list[str], list[str]]:
+    """Compare two result sets (``{suite: payload}`` dicts).
+
+    Returns ``(regressions, improvements, notes)`` as human-readable lines.
+    """
+    per_metric_tol = per_metric_tol or {}
+    regressions: list[str] = []
+    improvements: list[str] = []
+    notes: list[str] = []
+
+    base_metrics = {
+        (suite, test, m["name"]): m
+        for suite, payload in baseline.items()
+        for test, m in iter_metrics(payload)
+    }
+    cand_metrics = {
+        (suite, test, m["name"]): m
+        for suite, payload in candidate.items()
+        for test, m in iter_metrics(payload)
+    }
+
+    for key, base in sorted(base_metrics.items()):
+        suite, test, name = key
+        label = f"{suite}::{test}::{name}"
+        if not base.get("deterministic", True) and not include_time:
+            continue
+        tol = per_metric_tol.get(name, rel_tol)
+        cand = cand_metrics.get(key)
+        if cand is None:
+            regressions.append(f"{label}: missing from candidate")
+            continue
+        bv, cv = float(base["value"]), float(cand["value"])
+        if bv == cv:
+            continue
+        scale = abs(bv) if bv != 0 else max(abs(cv), 1e-30)
+        delta = (cv - bv) / scale
+        worse = delta > tol if base.get("direction", "lower") == "lower" else -delta > tol
+        better = -delta > tol if base.get("direction", "lower") == "lower" else delta > tol
+        units = f" {base.get('units')}" if base.get("units") else ""
+        line = f"{label}: {bv:g} -> {cv:g}{units} ({delta:+.1%}, tol {tol:.0%})"
+        if worse:
+            regressions.append(line)
+        elif better:
+            improvements.append(line)
+
+    for key in sorted(set(cand_metrics) - set(base_metrics)):
+        notes.append(f"{key[0]}::{key[1]}::{key[2]}: new metric (not in baseline)")
+    return regressions, improvements, notes
+
+
+def _parse_tol(specs: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for spec in specs:
+        name, _, value = spec.partition("=")
+        if not name or not value:
+            raise ValueError(f"--tol expects METRIC=REL, got {spec!r}")
+        out[name] = float(value)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    parser.add_argument("candidate", help="candidate BENCH_*.json file or directory")
+    parser.add_argument(
+        "--rel-tol", type=float, default=0.10,
+        help="default relative tolerance (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--tol", action="append", default=[], metavar="METRIC=REL",
+        help="per-metric tolerance override (repeatable)",
+    )
+    parser.add_argument(
+        "--include-time", action="store_true",
+        help="also gate on non-deterministic metrics (wall_time)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="only print regressions")
+    ns = parser.parse_args(argv)
+
+    try:
+        per_metric = _parse_tol(ns.tol)
+        baseline = load_result_set(ns.baseline)
+        candidate = load_result_set(ns.candidate)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no BENCH_*.json under {ns.baseline}", file=sys.stderr)
+        return 2
+
+    regressions, improvements, notes = compare(
+        baseline,
+        candidate,
+        rel_tol=ns.rel_tol,
+        per_metric_tol=per_metric,
+        include_time=ns.include_time,
+    )
+    for line in regressions:
+        print(f"REGRESSION  {line}")
+    if not ns.quiet:
+        for line in improvements:
+            print(f"improvement {line}")
+        for line in notes:
+            print(f"note        {line}")
+    n_gated = sum(
+        1
+        for payload in baseline.values()
+        for _, m in iter_metrics(payload)
+        if m.get("deterministic", True) or ns.include_time
+    )
+    print(
+        f"compared {n_gated} gated metric(s) across {len(baseline)} suite(s): "
+        f"{len(regressions)} regression(s), {len(improvements)} improvement(s)"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
