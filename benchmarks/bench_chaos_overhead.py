@@ -1,0 +1,104 @@
+"""Fault-plane overhead benchmark: disabled must cost exactly nothing.
+
+The committed baseline pins ``overhead_sim_s`` and ``weights_delta`` at
+``0.0``: a run with no injector installed and a run under an all-zero
+fault plan must agree on every simulated clock charge and every weight
+bit. Any nonzero candidate value is a regression of the zero-overhead
+contract (``tools/bench_compare.py`` flags it).
+
+A second case records the deterministic simulated cost of an actual
+crash-recovery chaos run, so recovery-path time changes show up in the
+bench diff too.
+"""
+
+import numpy as np
+
+from repro.faults import seed_string, zero_plan, injecting
+from repro.faults.session import run_chaos
+from repro.frame.layers import DataLayer, InnerProductLayer, SoftmaxWithLossLayer
+from repro.frame.net import Net
+from repro.parallel.trainer import DistributedTrainer
+from repro.utils.rng import seeded_rng
+
+RANKS, ITERS = 4, 6
+
+
+class SeekableShardSource:
+    def __init__(self, batches):
+        self.batches = list(batches)
+        self.i = 0
+        self.sample_shape = batches[0][0].shape[1:]
+
+    def next_batch(self, batch_size):
+        images, labels = self.batches[self.i % len(self.batches)]
+        self.i += 1
+        return images, labels
+
+    def seek(self, n_batches, batch_size):
+        self.i = n_batches
+
+
+def make_factory(n_workers=RANKS, per_worker=3, dim=5, classes=3, steps=8):
+    rng = np.random.default_rng(0)
+    data = [
+        (
+            rng.normal(size=(n_workers * per_worker, dim)).astype(np.float32),
+            rng.integers(0, classes, size=n_workers * per_worker),
+        )
+        for _ in range(steps)
+    ]
+
+    def factory(rank):
+        shard = SeekableShardSource(
+            [
+                (
+                    img[rank * per_worker : (rank + 1) * per_worker],
+                    lab[rank * per_worker : (rank + 1) * per_worker],
+                )
+                for img, lab in data
+            ]
+        )
+        net = Net("mlp")
+        net.add(DataLayer("data", shard, per_worker), bottoms=[], tops=["data", "label"])
+        net.add(InnerProductLayer("ip", classes, rng=seeded_rng(7)), ["data"], ["logits"])
+        net.add(SoftmaxWithLossLayer("loss"), ["logits", "label"], ["loss"])
+        return net
+
+    return factory
+
+
+def test_disabled_overhead_is_zero(benchmark):
+    def run():
+        off = DistributedTrainer(make_factory(), RANKS, algorithm="rhd")
+        s_off = off.step(ITERS)
+        zero = DistributedTrainer(make_factory(), RANKS, algorithm="rhd")
+        with injecting(zero_plan(RANKS, ITERS)):
+            s_zero = zero.step(ITERS)
+        return off, s_off, zero, s_zero
+
+    off, s_off, zero, s_zero = benchmark(run)
+    overhead = abs(s_zero.comm_time_s - s_off.comm_time_s)
+    delta = float(
+        np.max(np.abs(off.packers[0].pack_data() - zero.packers[0].pack_data()))
+    )
+    assert overhead == 0.0 and delta == 0.0
+    benchmark.record("overhead_sim_s", overhead, "s")
+    benchmark.record("weights_delta", delta, "")
+
+
+def test_crash_recovery_cost(benchmark, tmp_path):
+    def run():
+        return run_chaos(
+            make_factory(),
+            ranks=RANKS,
+            iterations=ITERS,
+            seed=seed_string("crash", 0),
+            snapshot_every=2,
+            snapshot_dir=str(tmp_path),
+        )
+
+    report = benchmark(run)
+    assert report.weights_match
+    benchmark.record("fault_sim_s", report.fault_time_s, "s")
+    benchmark.record("rank_rebuilds", report.rank_rebuilds, "rebuilds")
+    benchmark.record("surviving_ranks", report.surviving_ranks, "ranks")

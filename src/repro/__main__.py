@@ -15,6 +15,11 @@ metrics NET [options]
     Measure the same step: per-resource utilization counters and the
     per-layer roofline classification (text, ``--json``, or a Perfetto
     trace with counter tracks via ``--trace``).
+chaos NET [options]
+    Train data-parallel under a seeded fault plan (DMA/RLC/link faults,
+    stragglers, rank crashes) with elastic recovery, then verify the
+    final weights bit-for-bit against a fault-free reference run
+    (see docs/robustness.md).
 train [ITERS]
     Run the LeNet quickstart training loop.
 list
@@ -74,6 +79,12 @@ def _usage() -> str:
         "        [--trace FILE] [--scheme improved|original] [--supernode Q]\n"
         "                        per-resource utilization + per-layer\n"
         "                        roofline of the same simulated step\n"
+        "  chaos NET [--ranks N] [--iters K] [--batch B] [--faults SEED]\n"
+        "        [--algorithm rhd|ring|topo-aware] [--supernode Q]\n"
+        "        [--snapshot-every K] [--trace FILE] [--no-verify]\n"
+        "                        fault-injected training with elastic\n"
+        "                        recovery, verified against a fault-free\n"
+        "                        reference (docs/robustness.md)\n"
         "  train [ITERS]         quickstart LeNet training\n"
         "  list                  show experiments and networks\n"
     )
@@ -243,6 +254,78 @@ def cmd_metrics(args: list[str]) -> int:
     return 0
 
 
+def cmd_chaos(args: list[str]) -> int:
+    import argparse
+    import importlib
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Train data-parallel under a seeded fault plan with elastic "
+            "recovery; verify final weights against a fault-free reference."
+        ),
+    )
+    parser.add_argument("net", choices=sorted(NETWORKS), help="model-zoo network")
+    parser.add_argument("--ranks", type=int, default=4, help="simulated nodes (default 4)")
+    parser.add_argument("--iters", type=int, default=8, help="training iterations")
+    parser.add_argument("--batch", type=int, default=None, help="mini-batch size")
+    parser.add_argument(
+        "--faults", default="chaos:0x5caffe:0", metavar="SEED",
+        help="fault seed string '<profile>:<hex>:<index>' "
+             "(profiles: transient, degrade, crash, chaos)",
+    )
+    parser.add_argument(
+        "--algorithm", choices=("rhd", "ring", "topo-aware"), default="rhd",
+        help="allreduce algorithm (default rhd)",
+    )
+    parser.add_argument(
+        "--supernode", type=int, default=4, help="nodes per supernode (default 4)"
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=2, help="snapshot cadence (iterations)"
+    )
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="also export Chrome trace-event JSON with fault spans")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the fault-free reference run")
+    ns = parser.parse_args(args)
+
+    from repro.faults.plan import parse_seed_string
+    from repro.faults.session import run_chaos
+    from repro.trace import write_chrome_json
+    from repro.trace.tracer import Tracer
+
+    try:
+        parse_seed_string(ns.faults)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    mod_path, fn_name, default_batch = NETWORKS[ns.net]
+    builder = getattr(importlib.import_module(mod_path), fn_name)
+    batch = ns.batch if ns.batch is not None else default_batch
+
+    def net_factory(rank: int):
+        return builder(batch_size=batch)
+
+    tracer = Tracer() if ns.trace else None
+    report = run_chaos(
+        net_factory,
+        ranks=ns.ranks,
+        iterations=ns.iters,
+        seed=ns.faults,
+        algorithm=ns.algorithm,
+        nodes_per_supernode=ns.supernode,
+        snapshot_every=ns.snapshot_every,
+        tracer=tracer,
+        verify=not ns.no_verify,
+    )
+    print(report.render())
+    if ns.trace:
+        write_chrome_json(tracer, ns.trace)
+        print(f"wrote {len(tracer.spans)} spans to {ns.trace} (load in ui.perfetto.dev)")
+    return 0 if report.weights_match in (True, None) else 1
+
+
 def cmd_train(args: list[str]) -> int:
     from repro.frame.model_zoo import lenet
     from repro.frame.solver import SGDSolver
@@ -272,6 +355,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "chaos": cmd_chaos,
     "train": cmd_train,
     "list": cmd_list,
 }

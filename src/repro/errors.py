@@ -19,3 +19,28 @@ class ShapeError(ReproError):
 
 class CommunicatorError(ReproError):
     """Raised on invalid simulated-MPI usage (bad rank, mismatched buffers)."""
+
+
+class SnapshotMismatchError(ReproError):
+    """Raised when a snapshot's stored state contradicts the requested path.
+
+    E.g. loading ``model_iter_300.npz`` whose stored iteration counter says
+    200: silently resuming from the wrong point corrupts a recovery, so the
+    mismatch fails loudly instead.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault and recovery errors (:mod:`repro.faults`)."""
+
+
+class CollectiveTimeout(FaultError):
+    """A collective step timed out waiting on crashed rank(s).
+
+    Carries the set of logical ranks the communicator declared dead so the
+    elastic trainer can shrink around exactly those ranks.
+    """
+
+    def __init__(self, message: str, ranks: frozenset[int] = frozenset()) -> None:
+        super().__init__(message)
+        self.ranks = frozenset(ranks)

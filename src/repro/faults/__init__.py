@@ -1,0 +1,60 @@
+"""Seeded fault injection and elastic recovery for the simulated machine.
+
+The subsystem has four parts:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a seeded, replayable
+  schedule of typed faults (seed-string spec ``"<profile>:<hex>:<index>"``);
+* :mod:`repro.faults.injector` — the ambient, zero-overhead-when-disabled
+  delivery plane hooked into ``repro.hw`` and ``repro.simmpi``;
+* :mod:`repro.faults.recovery` — shrink / renumber / rewind helpers used
+  by the elastic trainer after a rank crash;
+* :mod:`repro.faults.session` — ``run_chaos``: a full faulted training run
+  plus its fault-free reference, backing ``python -m repro chaos``.
+
+Only ``plan`` and ``injector`` are imported here: the hook sites inside
+``repro.hw``/``repro.simmpi`` import this package, so pulling in
+``recovery``/``session`` (which import those layers back) would cycle.
+See ``docs/robustness.md``.
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    NullInjector,
+    active,
+    charge_transient,
+    injecting,
+    install,
+    suspended,
+)
+from repro.faults.plan import (
+    BASE_SEED,
+    PROFILES,
+    SITE_KINDS,
+    TRANSIENT_SITES,
+    FaultPlan,
+    conformance_seeds,
+    parse_seed_string,
+    seed_string,
+    zero_plan,
+)
+
+__all__ = [
+    "BASE_SEED",
+    "PROFILES",
+    "SITE_KINDS",
+    "TRANSIENT_SITES",
+    "FaultPlan",
+    "FaultInjector",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "active",
+    "charge_transient",
+    "conformance_seeds",
+    "injecting",
+    "install",
+    "parse_seed_string",
+    "seed_string",
+    "suspended",
+    "zero_plan",
+]

@@ -1,0 +1,73 @@
+"""Elastic-recovery building blocks: shrink, renumber, rewind.
+
+When a rank crash surfaces as a :class:`~repro.errors.CollectiveTimeout`,
+the elastic trainer (``repro.parallel.trainer``) recovers in three moves,
+each of which lives here so the mutation tests can break them one at a
+time:
+
+1. :func:`survivor_indices` — drop the dead ranks from the active roster;
+2. :func:`rebuild_comm` — build a fresh communicator for the survivors,
+   re-deriving the RHD round-robin renumbering for the shrunken placement;
+3. :func:`rewind_net_sources` — rewind every replica's data source to the
+   resume iteration so the post-recovery batch schedule is bit-identical
+   to an uninterrupted run at the surviving scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.simmpi.comm import SimComm
+from repro.simmpi.reorder import block_placement, round_robin_placement
+from repro.topology.fabric import TaihuLightFabric
+
+
+def survivor_indices(active: Sequence[int], dead: Iterable[int]) -> list[int]:
+    """The external rank ids still alive, in their original order.
+
+    ``active`` lists the external ids currently participating (logical rank
+    ``i`` is ``active[i]``); ``dead`` gives external ids declared crashed.
+    """
+    lost = set(dead)
+    return [r for r in active if r not in lost]
+
+
+def rebuild_comm(p: int, nodes_per_supernode: int = 4) -> SimComm:
+    """A fresh communicator renumbered for ``p`` surviving ranks.
+
+    Re-derives the paper's round-robin renumbering for the shrunken rank
+    count when it still tiles the supernodes evenly; otherwise falls back
+    to the trivial one-node-per-supernode placement (where block and
+    round-robin coincide). The clock starts at zero — recovery downtime is
+    accounted by the caller, not smuggled into the new communicator.
+    """
+    if p <= 0:
+        raise ValueError("cannot rebuild a communicator for zero survivors")
+    q = nodes_per_supernode if p % nodes_per_supernode == 0 else 1
+    fabric = TaihuLightFabric(
+        n_nodes=max(p, nodes_per_supernode), nodes_per_supernode=nodes_per_supernode
+    )
+    if q > 1:
+        placement = round_robin_placement(p, q)
+    else:
+        placement = block_placement(p, 1)
+    return SimComm(fabric, placement)
+
+
+def rewind_net_sources(net, iteration: int) -> int:
+    """Rewind a replica's data sources to the start of ``iteration``.
+
+    Duck-types data layers: any layer with a ``source`` exposing
+    ``seek(n_batches, batch_size)`` is rewound so its next batch is the one
+    iteration ``iteration`` would consume in an uninterrupted run. Returns
+    the number of sources rewound; stateless sources are left alone.
+    """
+    rewound = 0
+    for layer in net.layers:
+        source = getattr(layer, "source", None)
+        seek = getattr(source, "seek", None)
+        if seek is None:
+            continue
+        seek(int(iteration), int(getattr(layer, "batch_size")))
+        rewound += 1
+    return rewound

@@ -9,12 +9,16 @@ and fails loudly on mismatches.
 from __future__ import annotations
 
 import os
+import re
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, SnapshotMismatchError
 from repro.frame.net import Net
 from repro.frame.solver import SGDSolver
+
+#: Caffe-style snapshot filename produced by :func:`snapshot_path`.
+_ITER_RE = re.compile(r"_iter_(\d+)\.npz$")
 
 
 def save_weights(net: Net, path: str) -> None:
@@ -66,12 +70,29 @@ def save_solver(solver: SGDSolver, path: str) -> None:
 
 
 def load_solver(solver: SGDSolver, path: str) -> None:
-    """Restore weights + solver state written by :func:`save_solver`."""
+    """Restore weights + solver state written by :func:`save_solver`.
+
+    When ``path`` follows the Caffe-style ``{prefix}_iter_{N}.npz`` naming,
+    the stored iteration counter must equal ``N`` — a recovery resuming
+    from the wrong point would silently corrupt training, so a mismatch
+    raises :class:`~repro.errors.SnapshotMismatchError` instead.
+    """
     with np.load(path) as data:
         stored = {k: data[k] for k in data.files}
     if "__iter__" not in stored:
         raise ShapeError(f"{path!r} is not a solver snapshot")
-    solver.iter = int(stored.pop("__iter__")[0])
+    stored_iter = int(stored.pop("__iter__")[0])
+    m = _ITER_RE.search(os.path.basename(path))
+    if m is not None and stored_iter != int(m.group(1)):
+        raise SnapshotMismatchError(
+            f"snapshot {path!r} claims iteration {m.group(1)} in its name "
+            f"but stores iteration {stored_iter}"
+        )
+    solver.iter = stored_iter
+    # Restore means *exact* state: velocities absent from the snapshot
+    # (e.g. an iteration-0 file) must not survive from before the load,
+    # or a rollback would resume with momentum the snapshot never had.
+    solver._velocity.clear()
     by_name = {p.name: p for p in solver.net.params}
     for key, arr in stored.items():
         kind, _, name = key.partition("::")

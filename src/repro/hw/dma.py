@@ -22,6 +22,7 @@ import enum
 
 import numpy as np
 
+from repro.faults.injector import active as _faults, charge_transient
 from repro.hw.clock import SimClock
 from repro.hw.spec import SW26010Params, SW_PARAMS
 from repro.metrics.registry import active as _metrics
@@ -161,6 +162,9 @@ class DMAEngine:
             )
         self._record_metrics("get", out.nbytes, dt)
         self.clock.advance(dt, category="dma")
+        if _faults().enabled:
+            # Corrupted transfers are re-issued; data is re-copied intact.
+            charge_transient("dma", self.clock, dt, track="dma")
         return out
 
     def put(
@@ -186,6 +190,8 @@ class DMAEngine:
             )
         self._record_metrics("put", src.nbytes, dt)
         self.clock.advance(dt, category="dma")
+        if _faults().enabled:
+            charge_transient("dma", self.clock, dt, track="dma")
 
     def _record_metrics(self, direction: str, nbytes: int, dt: float) -> None:
         """Feed the utilization counters for one executed transfer."""

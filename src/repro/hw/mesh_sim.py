@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.injector import active as _faults
 from repro.hw.spec import SW26010Params, SW_PARAMS
 from repro.metrics.registry import active as _metrics
 from repro.trace.tracer import active as _tracer
@@ -115,6 +116,10 @@ class MeshSimulator:
             return max(prior) if prior else 0.0
 
         tr = _tracer()
+        fi = _faults()
+        # Mesh-link degradation cuts every bus's bandwidth for the whole
+        # schedule (transfer times stretch by the plan's mesh_factor).
+        degrade = fi.mesh_degrade() if fi.enabled else 1.0
         for op in ops:
             r, c = op.src
             if op.kind == "compute":
@@ -139,7 +144,7 @@ class MeshSimulator:
                 # incoming data (cpe_ready).
                 ready = dep_time(op.src, op.step)
                 start = max(bus_free.get(bus, 0.0), ready)
-                dur = self._startup + op.nbytes / rate
+                dur = self._startup + op.nbytes / rate * degrade
                 finish = start + dur
                 bus_free[bus] = finish
                 bus_busy[bus] = bus_busy.get(bus, 0.0) + dur

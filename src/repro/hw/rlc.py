@@ -14,6 +14,7 @@ converts inline with SIMD shuffles — the model exposes that constraint via
 
 from __future__ import annotations
 
+from repro.faults.injector import active as _faults, charge_transient
 from repro.hw.clock import SimClock
 from repro.hw.spec import SW26010Params, SW_PARAMS
 from repro.metrics.registry import active as _metrics
@@ -75,6 +76,9 @@ class RegisterComm:
             )
         self._record_metrics("p2p", nbytes, n_concurrent, dt)
         self.clock.advance(dt, category="rlc")
+        if _faults().enabled:
+            # A lost register-bus message is simply re-sent.
+            charge_transient("rlc", self.clock, dt, track="rlc")
 
     def charge_broadcast(self, nbytes: float, n_concurrent: int = 1) -> None:
         """Advance the clock by a broadcast transfer."""
@@ -88,6 +92,8 @@ class RegisterComm:
             )
         self._record_metrics("bcast", nbytes, n_concurrent, dt)
         self.clock.advance(dt, category="rlc")
+        if _faults().enabled:
+            charge_transient("rlc", self.clock, dt, track="rlc")
 
     def _record_metrics(self, kind: str, nbytes: float, n_concurrent: int, dt: float) -> None:
         """Feed the register-bus utilization counters for one charge."""

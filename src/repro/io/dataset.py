@@ -81,6 +81,25 @@ class SyntheticImageNet:
             )
         return images, labels.astype(np.int64)
 
+    def seek(self, n_batches: int, batch_size: int) -> None:
+        """Rewind the sample stream to just after ``n_batches`` draws.
+
+        The RNG restarts from the seed and replays the exact draw pattern of
+        ``n_batches`` batches of ``batch_size``, so the next
+        :meth:`next_batch` returns what batch ``n_batches`` of a fresh run
+        would — the data-source half of elastic recovery
+        (:func:`repro.faults.recovery.rewind_net_sources`).
+        """
+        if n_batches < 0 or batch_size <= 0:
+            raise ValueError("need n_batches >= 0 and batch_size > 0")
+        self._rng = seeded_rng(self.seed)
+        for _ in range(n_batches):
+            self._rng.integers(0, self.num_classes, size=batch_size)
+            if self.noise:
+                self._rng.normal(
+                    0.0, self.noise, size=(batch_size, *self.sample_shape)
+                )
+
     def batch_bytes(self, batch_size: int) -> float:
         """On-disk size of one mini-batch (for the I/O model)."""
         return batch_size * self.record_bytes

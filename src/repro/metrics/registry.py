@@ -62,6 +62,13 @@ METRIC_NAMES = (
     "plan.dma_bytes",       # counter, label plan=...
     "layer.passes",         # counter, labels dir=fwd|bwd, layer_type=...
     "solver.iterations",    # counter: completed solver iterations
+    "faults.injected",      # counter, label kind=dma_corrupt|rlc_fail|...: faults fired
+    "faults.retries",       # counter: transient-fault retries performed
+    "faults.retry_s",       # counter: simulated seconds spent retrying
+    "faults.timeouts",      # counter: collective timeouts on crashed ranks
+    "faults.timeout_s",     # counter: simulated seconds spent waiting out timeouts
+    "faults.rank_rebuilds",  # counter: elastic communicator rebuilds
+    "faults.slow_s",        # counter: extra seconds from stragglers/degradation
 )
 
 

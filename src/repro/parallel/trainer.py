@@ -7,6 +7,15 @@ moves through the algorithm) and every replica applies the same update.
 
 The defining invariant — replicas stay bit-identical, and the result equals
 single-process training on the concatenated batch — is what the tests pin.
+
+The trainer is *elastic*: when fault injection (:mod:`repro.faults`) crashes
+a rank, the collective raises :class:`~repro.errors.CollectiveTimeout`, and
+the trainer shrinks around the dead rank — survivors keep their logical
+order, the communicator is rebuilt (renumbered) for the smaller placement,
+every surviving solver rolls back to the last snapshot and its data sources
+rewind to the resume iteration. The recovered run is bit-identical to an
+uninterrupted run at the same effective schedule: full scale up to the
+snapshot, surviving scale after it (pinned by ``tests/test_faults_chaos.py``).
 """
 
 from __future__ import annotations
@@ -16,8 +25,13 @@ from typing import Callable
 
 import numpy as np
 
+from repro.errors import CollectiveTimeout, FaultError
+from repro.faults.injector import active as _faults
+from repro.faults.recovery import rebuild_comm, rewind_net_sources, survivor_indices
 from repro.frame.net import Net
+from repro.frame.snapshot import load_solver, save_solver, snapshot_path
 from repro.frame.solver import SGDSolver
+from repro.metrics.registry import active as _metrics
 from repro.parallel.packing import GradientPacker
 from repro.simmpi.comm import SimComm
 from repro.simmpi.collectives import rhd_allreduce, ring_allreduce, topo_aware_allreduce
@@ -33,7 +47,12 @@ ALGORITHMS: dict[str, Callable] = {
 
 @dataclass
 class DistributedStats:
-    """Per-iteration records of a distributed run."""
+    """Per-iteration records of a distributed run.
+
+    ``losses`` gains one entry per *completed* iteration, including any that
+    a later crash rollback discards and reruns; weights, not losses, are
+    the recovery-equivalence currency.
+    """
 
     losses: list[float] = field(default_factory=list)
     comm_time_s: float = 0.0
@@ -59,6 +78,13 @@ class DistributedTrainer:
         Supernode size for the simulated fabric.
     base_lr, momentum, weight_decay:
         Solver hyperparameters (identical on every worker).
+    snapshot_prefix:
+        When set, the trainer snapshots solver state to
+        ``{prefix}_iter_{N}.npz`` (one file — replicas are identical) at
+        iteration 0 and every ``snapshot_every`` iterations, which is what
+        elastic recovery rolls back to. Without it, a rank crash is fatal.
+    snapshot_every:
+        Snapshot cadence in iterations.
     """
 
     def __init__(
@@ -70,12 +96,17 @@ class DistributedTrainer:
         base_lr: float = 0.01,
         momentum: float = 0.9,
         weight_decay: float = 0.0,
+        snapshot_prefix: str | None = None,
+        snapshot_every: int = 2,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("need at least one worker")
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; use {set(ALGORITHMS)}")
+        if snapshot_every <= 0:
+            raise ValueError("snapshot_every must be >= 1")
         self.algorithm = algorithm
+        self.nodes_per_supernode = nodes_per_supernode
         self.nets = [net_factory(rank) for rank in range(n_workers)]
         self.solvers = [
             SGDSolver(
@@ -93,35 +124,144 @@ class DistributedTrainer:
         )
         self.comm = SimComm(fabric, block_placement(n_workers, 1))
         self._collective = ALGORITHMS[algorithm]
+        # --- elastic state ------------------------------------------------
+        #: External worker ids still participating; logical rank i is
+        #: ``active[i]``. Starts as the identity roster.
+        self.active: list[int] = list(range(n_workers))
+        #: Completed-iteration counter across step() calls and rollbacks.
+        self.global_iter: int = 0
+        #: Recovery log: ``(resume_iteration, surviving external ids)`` per
+        #: crash, exactly what a fault-free reference run must replay with
+        #: :meth:`shrink_to` to reproduce the recovered weights.
+        self.recoveries: list[tuple[int, tuple[int, ...]]] = []
+        self.snapshot_prefix = snapshot_prefix
+        self.snapshot_every = snapshot_every
+        self._last_snapshot = 0
+        if snapshot_prefix is not None:
+            save_solver(self.solvers[0], snapshot_path(snapshot_prefix, 0))
 
     @property
     def n_workers(self) -> int:
         return len(self.nets)
 
     def step(self, n_iters: int = 1) -> DistributedStats:
-        """Run synchronized iterations across all workers."""
+        """Run synchronized iterations across all (surviving) workers.
+
+        Counts *effective* iterations: a crash rolls ``global_iter`` back to
+        the last snapshot and the discarded span is rerun at the surviving
+        scale, so the trainer always ends ``n_iters`` effective iterations
+        ahead of where it started.
+        """
         stats = DistributedStats()
-        for _ in range(n_iters):
-            # Local forward/backward on each worker's shard.
-            iter_losses = []
-            for net in self.nets:
-                net.zero_param_diffs()
-                losses = net.forward()
-                net.backward()
-                iter_losses.append(sum(losses.values()))
-            # Allreduce the packed gradients (averaged across workers).
-            buffers = [p.pack_diffs() for p in self.packers]
-            t0 = self.comm.clock.now
-            self._collective(self.comm, buffers, average=True)
-            stats.comm_time_s += self.comm.clock.now - t0
-            for packer, buf in zip(self.packers, buffers):
-                packer.unpack_diffs(buf)
-            # Identical updates everywhere.
-            for solver in self.solvers:
-                solver.apply_update()
-                solver.iter += 1
-            stats.losses.append(float(np.mean(iter_losses)))
+        end = self.global_iter + n_iters
+        while self.global_iter < end:
+            fi = _faults()
+            if fi.enabled:
+                fi.begin_iteration(self.global_iter)
+                fi.set_rank_map(self.active)
+                self._mark_failures(fi)
+            try:
+                self._one_iteration(stats)
+            except CollectiveTimeout as exc:
+                self._recover(exc.ranks)
+                continue
+            self.global_iter += 1
+            if (
+                self.snapshot_prefix is not None
+                and self.global_iter % self.snapshot_every == 0
+            ):
+                self._snapshot()
         return stats
+
+    def _one_iteration(self, stats: DistributedStats) -> None:
+        """One synchronous iteration: local grads, allreduce, update."""
+        # Local forward/backward on each worker's shard.
+        iter_losses = []
+        for net in self.nets:
+            net.zero_param_diffs()
+            losses = net.forward()
+            net.backward()
+            iter_losses.append(sum(losses.values()))
+        # Allreduce the packed gradients (averaged across workers).
+        buffers = [p.pack_diffs() for p in self.packers]
+        t0 = self.comm.clock.now
+        self._collective(self.comm, buffers, average=True)
+        stats.comm_time_s += self.comm.clock.now - t0
+        for packer, buf in zip(self.packers, buffers):
+            packer.unpack_diffs(buf)
+        # Identical updates everywhere.
+        for solver in self.solvers:
+            solver.apply_update()
+            solver.iter += 1
+        stats.losses.append(float(np.mean(iter_losses)))
+
+    # ------------------------------------------------------------------ #
+    # elastic recovery
+    # ------------------------------------------------------------------ #
+    def _mark_failures(self, fi) -> None:
+        """Translate the plan's crashed external ids into logical ranks."""
+        dead_external = fi.failed_ranks() & set(self.active)
+        if dead_external:
+            self.comm.failed_ranks = frozenset(
+                i for i, r in enumerate(self.active) if r in dead_external
+            )
+            if fi.plan is not None:
+                self.comm.timeout_s = fi.plan.timeout_s
+
+    def shrink_to(self, survivors: list[int]) -> None:
+        """Drop every worker not in ``survivors`` and renumber the rest.
+
+        ``survivors`` lists external ids (an order-preserving subset of
+        :attr:`active`). Used by recovery after a crash and by fault-free
+        reference runs replaying a recorded :attr:`recoveries` schedule.
+        """
+        if not survivors:
+            raise FaultError("cannot shrink to zero survivors")
+        index_of = {r: i for i, r in enumerate(self.active)}
+        missing = [r for r in survivors if r not in index_of]
+        if missing:
+            raise FaultError(f"survivors {missing} are not active workers")
+        keep = [index_of[r] for r in survivors]
+        self.nets = [self.nets[i] for i in keep]
+        self.solvers = [self.solvers[i] for i in keep]
+        self.packers = [self.packers[i] for i in keep]
+        self.active = list(survivors)
+        self.comm = rebuild_comm(len(survivors), self.nodes_per_supernode)
+
+    def _recover(self, dead_logical: frozenset[int]) -> None:
+        """Shrink around crashed ranks and roll back to the last snapshot."""
+        if self.snapshot_prefix is None:
+            raise FaultError(
+                "rank crash without snapshots enabled; pass snapshot_prefix "
+                "to DistributedTrainer to allow elastic recovery"
+            )
+        dead_external = {self.active[i] for i in dead_logical}
+        survivors = survivor_indices(self.active, dead_external)
+        if not survivors:
+            raise FaultError(f"all ranks crashed at iteration {self.global_iter}")
+        self.shrink_to(survivors)
+        resume = self._last_snapshot
+        path = snapshot_path(self.snapshot_prefix, resume)
+        for solver in self.solvers:
+            load_solver(solver, path)
+        for net in self.nets:
+            rewind_net_sources(net, resume)
+        self.global_iter = resume
+        self.recoveries.append((resume, tuple(survivors)))
+        fi = _faults()
+        if fi.enabled:
+            fi.set_rank_map(self.active)
+            fi.note_crash(frozenset(dead_external))
+            fi.note_rebuild()
+        mx = _metrics()
+        if mx.enabled:
+            mx.count("faults.rank_rebuilds", 1)
+
+    def _snapshot(self) -> None:
+        """Persist solver state; replicas are identical, one file suffices."""
+        save_solver(self.solvers[0], snapshot_path(self.snapshot_prefix, self.global_iter))
+        if self.global_iter > self._last_snapshot:
+            self._last_snapshot = self.global_iter
 
     def replicas_in_sync(self, atol: float = 0.0) -> bool:
         """Whether all replicas hold identical parameters."""

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import CollectiveTimeout
+from repro.faults.injector import active as _faults, charge_transient
 from repro.hw.clock import SimClock
 from repro.hw.spec import SW_PARAMS
 from repro.topology.cost_model import LinearCostModel
@@ -96,6 +98,13 @@ class SimComm:
         else:
             self.gamma = reduce_gamma("cpe")
         self.clock = SimClock()
+        #: Logical ranks declared dead: any lockstep step touching one
+        #: times out and raises :class:`CollectiveTimeout`. Plain state
+        #: (settable by tests and the elastic trainer) so the check costs
+        #: one empty-set test when nothing has crashed.
+        self.failed_ranks: frozenset[int] = frozenset()
+        #: Seconds a step waits on a dead partner before declaring it.
+        self.timeout_s: float = 1e-3
 
     @property
     def p(self) -> int:
@@ -137,14 +146,29 @@ class SimComm:
         """
         if not pairs:
             return
+        if self.failed_ranks:
+            dead = frozenset(
+                r for a, b, _ in pairs for r in (a, b) if r in self.failed_ranks
+            )
+            if dead:
+                self._timeout(dead)
+        fi = _faults()
         step_time = 0.0
+        base_step_time = 0.0
         any_cross = False
         max_bytes = 0.0
         for a, b, nbytes in pairs:
-            step_time = max(step_time, self.pair_time(a, b, nbytes))
+            t = self.pair_time(a, b, nbytes)
+            base_step_time = max(base_step_time, t)
+            if fi.enabled:
+                # Straggler slowdown: the step lasts as long as its
+                # slowest (possibly degraded) pair.
+                t *= fi.comm_scale(a, b)
+            step_time = max(step_time, t)
             cross = self.crosses_supernode(a, b)
             any_cross = any_cross or cross
             max_bytes = max(max_bytes, nbytes)
+        slow_s = step_time - base_step_time
         if any_cross:
             result.bytes_cross += max_bytes
         else:
@@ -179,3 +203,35 @@ class SimComm:
                 mx.count("comm.reduce_bytes", reduce_bytes)
         result.add_step(step_time)
         self.clock.advance(step_time, category="comm")
+        if fi.enabled:
+            if slow_s > 0:
+                fi.note_slow()
+                if mx.enabled:
+                    mx.count("faults.slow_s", slow_s)
+            # Flaky-link retry: the whole lockstep step is repeated, time
+            # charged to the clock's "fault" category (the re-exchange
+            # carries identical data, so results stay bit-exact).
+            charge_transient("comm", self.clock, step_time, track="comm")
+
+    def _timeout(self, dead: frozenset[int]) -> None:
+        """Wait out the timeout on ``dead`` ranks, then fail the collective."""
+        self.clock.advance(self.timeout_s, category="fault")
+        tr = _tracer()
+        if tr.enabled:
+            tr.emit(
+                "collective timeout", "fault_retry", track="comm",
+                start=self.clock.now - self.timeout_s, dur=self.timeout_s,
+                args={"ranks": sorted(dead)},
+            )
+            tr.instant_event(
+                "rank_crash", "fault_inject", track="comm",
+                start=self.clock.now, args={"ranks": sorted(dead)},
+            )
+        mx = _metrics()
+        if mx.enabled:
+            mx.count("faults.timeouts", 1)
+            mx.count("faults.timeout_s", self.timeout_s)
+        raise CollectiveTimeout(
+            f"collective step timed out on crashed rank(s) {sorted(dead)}",
+            ranks=dead,
+        )

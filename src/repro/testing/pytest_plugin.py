@@ -7,7 +7,10 @@ automatically parametrized over the corresponding registry and marked
 
 * ``kernel_name`` — every registered kernel spec;
 * ``collective_name`` — every registered collective spec;
-* ``layer_name`` — every registered gradcheck layer case.
+* ``layer_name`` — every registered gradcheck layer case;
+* ``fault_seed`` — every chaos replay seed from
+  :func:`repro.faults.plan.conformance_seeds` (all fault profiles), so
+  faulted collectives ride the same ``pytest -m conformance`` selection.
 
 ``pytest -m conformance`` selects exactly the registry-driven tests. The
 default fuzz budget (:data:`FAST_CONFIGS` seeded configurations per spec)
@@ -50,7 +53,13 @@ def pytest_configure(config: pytest.Config) -> None:
 
 
 def pytest_collection_modifyitems(config: pytest.Config, items: list) -> None:
-    fixtures = {"kernel_name", "collective_name", "layer_name", "conformance_configs"}
+    fixtures = {
+        "kernel_name",
+        "collective_name",
+        "layer_name",
+        "fault_seed",
+        "conformance_configs",
+    }
     for item in items:
         if fixtures & set(getattr(item, "fixturenames", ())):
             item.add_marker(pytest.mark.conformance)
@@ -63,6 +72,10 @@ def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
         metafunc.parametrize("collective_name", _registry.collective_names())
     if "layer_name" in metafunc.fixturenames:
         metafunc.parametrize("layer_name", _gradcheck.registered_layers())
+    if "fault_seed" in metafunc.fixturenames:
+        from repro.faults.plan import conformance_seeds
+
+        metafunc.parametrize("fault_seed", conformance_seeds())
 
 
 @pytest.fixture

@@ -44,6 +44,8 @@ SPAN_CATEGORIES = (
     "layer_bwd",     # one layer's backward pass
     "solver_iter",   # one full solver iteration
     "plan_cost",     # a kernel plan's priced invocation
+    "fault_inject",  # instant: an injected fault fired (repro.faults)
+    "fault_retry",   # retry/backoff/timeout time charged to recovery
 )
 
 
