@@ -1,0 +1,42 @@
+"""Ablation benchmark: overlap-aware bucketed allreduce vs fused.
+
+Two cases: the single-point ablation at the Fig. 10 operating point, and
+the full Fig. 11 comm-ratio sweep comparing the fused and bucketed models
+at every paper node count. All recorded metrics are simulated/derived and
+bit-stable, so they gate in ``tools/bench_compare.py``.
+"""
+
+from conftest import run_once
+
+from repro.harness import ablations, fig10_scalability
+
+
+def test_ablation_overlap(benchmark):
+    result = run_once(benchmark, ablations.overlap_ablation)
+    assert result.gain > 1.0
+    benchmark.record("exposed_fused_s", result.baseline_value, "s")
+    benchmark.record("exposed_bucketed_s", result.improved_value, "s")
+    benchmark.record("gain", result.gain, "x", direction="higher")
+    print("\n" + ablations.render([result]))
+
+
+def test_overlap_comm_ratio_sweep(benchmark):
+    bucketed = run_once(benchmark, fig10_scalability.generate, bucket_mb=96.0)
+    fused = fig10_scalability.generate()
+
+    f = {(p.label, p.n_nodes): p for p in fused}
+    b = {(p.label, p.n_nodes): p for p in bucketed}
+    # Bucketing must strictly lower the exposed comm share at 16+ nodes.
+    for (label, n), fp in f.items():
+        if n >= 16:
+            assert b[(label, n)].comm_fraction < fp.comm_fraction, (label, n)
+
+    key = ("AlexNet, B=128", 1024)
+    benchmark.record("comm_fraction_fused_1024", f[key].comm_fraction, "")
+    benchmark.record("comm_fraction_bucketed_1024", b[key].comm_fraction, "")
+    benchmark.record(
+        "hidden_s_1024", b[key].overlap_hidden_s, "s", direction="higher"
+    )
+    key16 = ("AlexNet, B=128", 16)
+    benchmark.record("comm_fraction_fused_16", f[key16].comm_fraction, "")
+    benchmark.record("comm_fraction_bucketed_16", b[key16].comm_fraction, "")

@@ -29,6 +29,7 @@ class Net:
         self.blobs: dict[str, Blob] = {}
         self._producer: dict[str, Layer] = {}
         self.phase = "train"
+        self._backward_hooks: list = []
 
     # ------------------------------------------------------------------ #
     # construction
@@ -123,6 +124,21 @@ class Net:
                 )
         return losses
 
+    def add_backward_hook(self, hook) -> None:
+        """Register ``hook(layer, index)``, fired as each layer completes
+        its backward pass (``index`` is the layer's forward position).
+
+        Backward runs last-to-first, so when the hook fires for ``index``,
+        every layer at ``index`` or later has finished producing its
+        parameter gradients — the signal gradient bucketing uses to launch
+        a bucket's allreduce while earlier layers are still computing.
+        """
+        self._backward_hooks.append(hook)
+
+    def remove_backward_hook(self, hook) -> None:
+        """Unregister a hook previously added with :meth:`add_backward_hook`."""
+        self._backward_hooks.remove(hook)
+
     def backward(self) -> None:
         """Run the backward sweep (activation diffs are reset first)."""
         for blob in self.blobs.values():
@@ -136,7 +152,8 @@ class Net:
                 )
         tr = _tracer()
         mx = _metrics()
-        for layer in reversed(self.layers):
+        for index in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[index]
             bottom, top = self._io(layer)
             layer.backward(top, bottom)
             if mx.enabled:
@@ -148,6 +165,8 @@ class Net:
                     tr, f"{layer.name} bwd", cost,
                     cat="layer_bwd", args={"layer_type": layer.type},
                 )
+            for hook in self._backward_hooks:
+                hook(layer, index)
 
     # ------------------------------------------------------------------ #
     # parameters

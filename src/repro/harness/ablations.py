@@ -164,6 +164,31 @@ def sync_scheme_ablation(
     )
 
 
+def overlap_ablation(
+    compute_s: float = 256 / 94.17,
+    model_bytes: float = 232.6e6,
+    p: int = 1024,
+    bucket_mb: float = 96.0,
+) -> AblationResult:
+    """Fused end-of-backward allreduce vs overlap-aware bucketed launches.
+
+    Compares the *exposed* allreduce seconds of one SSGD iteration at the
+    Fig. 10 scale: the fused path pays the whole collective after backward,
+    the bucketed path hides bucket transfers behind the backward window.
+    """
+    import dataclasses
+
+    fused = SSGDIterationModel(compute_s=compute_s, model_bytes=model_bytes)
+    bucketed = dataclasses.replace(fused, bucket_mb=bucket_mb)
+    return AblationResult(
+        name="comm overlap",
+        baseline_label="fused (post-backward)",
+        baseline_value=fused.breakdown(p).allreduce_s,
+        improved_label=f"bucketed ({bucket_mb:g} MB, overlapped)",
+        improved_value=bucketed.breakdown(p).allreduce_s,
+    )
+
+
 def io_striping_ablation(n_processes: int = 1024) -> AblationResult:
     """32x256 MB round-robin striping vs single-split layout."""
     disk = DiskArrayModel()
@@ -186,6 +211,7 @@ def generate() -> list[AblationResult]:
         autotune_ablation(),
         conv_domain_ablation(),
         sync_scheme_ablation(),
+        overlap_ablation(),
         io_striping_ablation(),
     ]
 

@@ -9,6 +9,7 @@ the calibrated collective network curve.
 
 from __future__ import annotations
 
+import dataclasses
 from functools import lru_cache
 
 from repro.frame.model_zoo import alexnet, resnet
@@ -39,17 +40,29 @@ def _iteration_model(label: str) -> SSGDIterationModel:
     raise KeyError(label)
 
 
-def build_study() -> ScalingStudy:
-    """The full Fig. 10/11 study object."""
+def build_study(
+    bucket_mb: float | None = None, backward_frac: float = 2.0 / 3.0
+) -> ScalingStudy:
+    """The full Fig. 10/11 study object.
+
+    ``bucket_mb`` switches every config to the overlap-aware bucketed
+    allreduce model (``None`` keeps the fused path — the paper's
+    numbers). The cached base models are never mutated.
+    """
     study = ScalingStudy()
     for label, _, _ in CONFIGS:
-        study.add_config(label, _iteration_model(label))
+        model = _iteration_model(label)
+        if bucket_mb is not None:
+            model = dataclasses.replace(
+                model, bucket_mb=bucket_mb, backward_frac=backward_frac
+            )
+        study.add_config(label, model)
     return study
 
 
-def generate() -> list[ScalingPoint]:
+def generate(bucket_mb: float | None = None) -> list[ScalingPoint]:
     """All (config, node-count) speedup/comm-fraction samples."""
-    return build_study().run()
+    return build_study(bucket_mb=bucket_mb).run()
 
 
 def render(points: list[ScalingPoint] | None = None) -> str:

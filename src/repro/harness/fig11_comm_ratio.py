@@ -1,6 +1,10 @@
 """Fig. 11: communication time fraction during scaled training.
 
 Same sweep as Fig. 10, reporting the allreduce share of each iteration.
+``--bucket-mb`` re-runs the sweep with the overlap-aware bucketed
+allreduce model and prints the exposed-comm fractions side by side with
+the fused baseline — bucketing hides bucket transfers behind the tail of
+backward, so the exposed fraction drops where comm matters (16+ nodes).
 """
 
 from __future__ import annotations
@@ -10,12 +14,13 @@ from repro.parallel.scaling import PAPER_NODE_COUNTS, ScalingPoint
 from repro.utils.tables import Table
 
 
-def render(points: list[ScalingPoint] | None = None) -> str:
+def render(points: list[ScalingPoint] | None = None, title: str | None = None) -> str:
     points = points if points is not None else generate()
     labels = [c[0] for c in CONFIGS]
     table = Table(
         headers=["nodes"] + labels,
-        title="Fig. 11: communication time fraction (%) vs number of nodes",
+        title=title
+        or "Fig. 11: communication time fraction (%) vs number of nodes",
     )
     for n in PAPER_NODE_COUNTS:
         row = [n]
@@ -26,8 +31,45 @@ def render(points: list[ScalingPoint] | None = None) -> str:
     return table.render()
 
 
-def main() -> None:  # pragma: no cover
-    print(render())
+def render_overlap(bucket_mb: float) -> str:
+    """Fused vs bucketed comm fractions, plus the hidden-time column."""
+    fused = generate()
+    bucketed = generate(bucket_mb=bucket_mb)
+    out = [
+        render(fused, title="Fig. 11 (fused): comm fraction (%)"),
+        render(
+            bucketed,
+            title=f"Fig. 11 (bucketed, {bucket_mb:g} MB): exposed comm fraction (%)",
+        ),
+    ]
+    table = Table(
+        headers=["nodes"] + [c[0] for c in CONFIGS],
+        title="Allreduce time hidden behind backward (ms/iteration)",
+    )
+    for n in PAPER_NODE_COUNTS:
+        row = [n]
+        for label, _, _ in CONFIGS:
+            (pt,) = [p for p in bucketed if p.label == label and p.n_nodes == n]
+            row.append(round(1e3 * pt.overlap_hidden_s, 3))
+        table.add_row(*row)
+    out.append(table.render())
+    return "\n\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Fig. 11 comm-fraction study")
+    parser.add_argument(
+        "--bucket-mb", type=float, default=None, metavar="MB",
+        help="also run the overlap-aware bucketed allreduce model with "
+        "this bucket size bound and compare against the fused baseline",
+    )
+    ns = parser.parse_args(argv)
+    if ns.bucket_mb is not None:
+        print(render_overlap(ns.bucket_mb))
+    else:
+        print(render())
 
 
 if __name__ == "__main__":  # pragma: no cover

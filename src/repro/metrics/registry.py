@@ -57,6 +57,9 @@ METRIC_NAMES = (
     "comm.steps",           # counter, label collective=...: lockstep rounds
     "comm.bytes",           # counter, labels link=intra|cross: wire traffic
     "comm.reduce_bytes",    # counter: bytes locally reduced
+    "comm.bucket_launches",  # counter: nonblocking bucket allreduces launched
+    "comm.overlap_hidden_s",   # counter: comm seconds hidden behind backward
+    "comm.overlap_exposed_s",  # counter: comm seconds left on the critical path
     "plan.invocations",     # counter, labels plan=..., bound=...: priced kernels
     "plan.flops",           # counter, label plan=...
     "plan.dma_bytes",       # counter, label plan=...

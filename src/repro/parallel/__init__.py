@@ -15,7 +15,7 @@
 """
 
 from repro.parallel.threads import MultiCGRunner
-from repro.parallel.packing import GradientPacker
+from repro.parallel.packing import BucketedPacker, GradientPacker
 from repro.parallel.ssgd import SSGDIterationModel
 from repro.parallel.trainer import DistributedTrainer
 from repro.parallel.node_trainer import MultiCGTrainer
@@ -25,6 +25,7 @@ from repro.parallel.scaling import ScalingStudy, ScalingPoint
 __all__ = [
     "MultiCGRunner",
     "GradientPacker",
+    "BucketedPacker",
     "SSGDIterationModel",
     "DistributedTrainer",
     "MultiCGTrainer",

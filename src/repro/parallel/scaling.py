@@ -26,6 +26,8 @@ class ScalingPoint:
     iteration_s: float
     speedup: float
     comm_fraction: float
+    #: Allreduce seconds hidden behind backward (0 for the fused path).
+    overlap_hidden_s: float = 0.0
 
 
 @dataclass
@@ -46,13 +48,15 @@ class ScalingStudy:
         points: list[ScalingPoint] = []
         for label, model in self.configs.items():
             for n in self.node_counts:
+                breakdown = model.breakdown(n)
                 points.append(
                     ScalingPoint(
                         label=label,
                         n_nodes=n,
-                        iteration_s=model.iteration_time(n),
+                        iteration_s=breakdown.total_s,
                         speedup=model.speedup(n),
-                        comm_fraction=model.comm_fraction(n),
+                        comm_fraction=breakdown.comm_fraction,
+                        overlap_hidden_s=breakdown.overlap_hidden_s,
                     )
                 )
         return points

@@ -15,6 +15,7 @@ Weak scaling: the global batch is ``N * sub_batch``, so
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.io.prefetch import PrefetchPipeline
@@ -25,15 +26,75 @@ from repro.topology.cost_model import NetworkModel, SW_COLLECTIVE_NETWORK
 from repro.topology.supernode import NODES_PER_SUPERNODE
 
 
+@dataclass(frozen=True)
+class OverlapSchedule:
+    """Bucketed allreduces scheduled against the backward window.
+
+    Buckets become ready one after another as backward finishes their
+    layers; a serial fabric serves them in order (``start = max(ready,
+    previous end)``). Buckets that become ready while the fabric is
+    still busy coalesce into a single launch (Horovod-style tensor
+    fusion), so the per-collective startup overhead is paid once per
+    launch, not once per bucket. Service before ``barrier_s`` — the end
+    of local compute — is *hidden* behind backward; only what spills
+    past the barrier lands on the iteration's critical path. With a
+    single bucket (the fused path) ``ready == barrier`` and everything
+    is exposed, which is exactly the non-overlapped model.
+    """
+
+    ready_s: tuple[float, ...]
+    start_s: tuple[float, ...]
+    comm_s: tuple[float, ...]
+    #: How many gradient buckets each launch coalesced.
+    merged: tuple[int, ...]
+    barrier_s: float
+
+    @property
+    def n_launches(self) -> int:
+        return len(self.comm_s)
+
+    @property
+    def n_buckets(self) -> int:
+        return sum(self.merged)
+
+    @property
+    def total_comm_s(self) -> float:
+        """Total network occupancy across every bucket."""
+        return sum(self.comm_s)
+
+    @property
+    def hidden_s(self) -> float:
+        """Comm time hidden behind the remaining backward compute: per
+        launch, the slice of service before the barrier (the same rule
+        the trainer's nonblocking queue uses)."""
+        return sum(
+            max(0.0, min(s + c, self.barrier_s) - s)
+            for s, c in zip(self.start_s, self.comm_s)
+        )
+
+    @property
+    def exposed_s(self) -> float:
+        """Comm time past the barrier — what lands on the critical path.
+        Exactly the full occupancy for the fused single-bucket schedule,
+        whose only launch starts at the barrier."""
+        return self.total_comm_s - self.hidden_s
+
+
 @dataclass
 class IterationBreakdown:
-    """Where one distributed iteration's time goes."""
+    """Where one distributed iteration's time goes.
+
+    ``allreduce_s`` is the *exposed* allreduce time — with bucketed
+    overlap enabled, the hidden portion is reported separately in
+    ``overlap_hidden_s`` and does not extend the iteration.
+    """
 
     compute_s: float
     local_reduce_s: float
     allreduce_s: float
     update_s: float
     io_s: float
+    overlap_hidden_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -76,6 +137,15 @@ class SSGDIterationModel:
     prefetch:
         Optional I/O pipeline; when given, ``batch_io_bytes`` is the
         per-node mini-batch payload read each iteration.
+    bucket_mb:
+        Gradient-bucket size bound in MB for overlap-aware allreduce.
+        ``None`` (the default) is the fused path: one bucket holding the
+        whole model, launched only when backward has fully finished —
+        i.e. the model's historical behavior, unchanged.
+    backward_frac:
+        Fraction of node compute that is backward — the window at the
+        *end* of compute during which bucket gradients become ready.
+        Defaults to 2/3 (backward costs roughly twice forward).
     """
 
     compute_s: float
@@ -87,19 +157,81 @@ class SSGDIterationModel:
     prefetch: PrefetchPipeline | None = None
     batch_io_bytes: float = 0.0
     runner: MultiCGRunner = field(default_factory=MultiCGRunner)
+    bucket_mb: float | None = None
+    backward_frac: float = 2.0 / 3.0
 
-    def allreduce_time(self, n_nodes: int) -> float:
-        """Inter-node gradient allreduce time at ``n_nodes``."""
-        if n_nodes <= 1:
-            return 0.0
+    def bucket_sizes(self) -> tuple[float, ...]:
+        """Per-bucket payloads (bytes), an even split bounded by
+        ``bucket_mb``; a single full-model bucket when fused."""
+        if self.bucket_mb is None:
+            return (self.model_bytes,)
+        bound = float(self.bucket_mb) * 1e6
+        if bound <= 0:
+            raise ValueError("bucket_mb must be positive")
+        k = max(1, math.ceil(self.model_bytes / bound))
+        return tuple([self.model_bytes / k] * k)
+
+    def _single_allreduce_time(self, nbytes: float, n_nodes: int) -> float:
         gamma = reduce_gamma(self.reduce_engine)
         return stepwise_rhd_cost(
-            self.model_bytes,
+            nbytes,
             n_nodes,
             self.nodes_per_supernode,
             self.network,
             gamma,
             placement=self.placement,
+        )
+
+    def allreduce_time(self, n_nodes: int) -> float:
+        """Inter-node gradient allreduce time at ``n_nodes`` for the
+        fused (single-message) payload."""
+        if n_nodes <= 1:
+            return 0.0
+        return self._single_allreduce_time(self.model_bytes, n_nodes)
+
+    def overlap_schedule(self, n_nodes: int, compute_s: float) -> OverlapSchedule:
+        """Schedule the bucket allreduces against a compute window.
+
+        ``compute_s`` is the node-local compute time (forward + backward
+        + thread sync); backward occupies its last ``backward_frac``
+        slice, and bucket ``i`` of ``K`` becomes ready when backward is
+        ``(i + 1) / K`` done (gradients accumulate in reverse layer
+        order, so equal-size buckets fill at an even pace). Every bucket
+        already ready when the fabric frees up rides in the same launch.
+        """
+        if not 0.0 <= self.backward_frac <= 1.0:
+            raise ValueError("backward_frac must be in [0, 1]")
+        sizes = self.bucket_sizes()
+        if n_nodes <= 1:
+            sizes = ()
+        backward_start = compute_s * (1.0 - self.backward_frac)
+        window = compute_s - backward_start
+        k = len(sizes)
+        bucket_ready = [backward_start + window * (i + 1) / k for i in range(k)]
+        ready: list[float] = []
+        start: list[float] = []
+        comm: list[float] = []
+        merged: list[int] = []
+        free = 0.0
+        i = 0
+        while i < k:
+            s = max(bucket_ready[i], free)
+            j = i + 1
+            while j < k and bucket_ready[j] <= s:
+                j += 1
+            c = self._single_allreduce_time(sum(sizes[i:j]), n_nodes)
+            ready.append(bucket_ready[i])
+            start.append(s)
+            comm.append(c)
+            merged.append(j - i)
+            free = s + c
+            i = j
+        return OverlapSchedule(
+            ready_s=tuple(ready),
+            start_s=tuple(start),
+            comm_s=tuple(comm),
+            merged=tuple(merged),
+            barrier_s=compute_s,
         )
 
     def update_time(self) -> float:
@@ -116,12 +248,15 @@ class SSGDIterationModel:
             io_s = self.prefetch.iteration_io_time(
                 n_nodes, self.batch_io_bytes, self.compute_s
             )
+        compute = node.compute_s + node.sync_s
+        schedule = self.overlap_schedule(n_nodes, compute)
         return IterationBreakdown(
-            compute_s=node.compute_s + node.sync_s,
+            compute_s=compute,
             local_reduce_s=node.local_reduce_s,
-            allreduce_s=self.allreduce_time(n_nodes),
+            allreduce_s=schedule.exposed_s,
             update_s=self.update_time(),
             io_s=io_s,
+            overlap_hidden_s=schedule.hidden_s,
         )
 
     def iteration_time(self, n_nodes: int) -> float:

@@ -32,8 +32,9 @@ from repro.frame.net import Net
 from repro.frame.snapshot import load_solver, save_solver, snapshot_path
 from repro.frame.solver import SGDSolver
 from repro.metrics.registry import active as _metrics
-from repro.parallel.packing import GradientPacker
+from repro.parallel.packing import BucketedPacker, GradientPacker
 from repro.simmpi.comm import SimComm
+from repro.simmpi.nonblocking import IAllreduceQueue
 from repro.simmpi.collectives import rhd_allreduce, ring_allreduce, topo_aware_allreduce
 from repro.simmpi.reorder import block_placement
 from repro.topology.fabric import TaihuLightFabric
@@ -56,6 +57,8 @@ class DistributedStats:
 
     losses: list[float] = field(default_factory=list)
     comm_time_s: float = 0.0
+    #: Comm seconds hidden behind backward compute (bucketed runs only).
+    comm_hidden_s: float = 0.0
 
     @property
     def iterations(self) -> int:
@@ -85,6 +88,19 @@ class DistributedTrainer:
         elastic recovery rolls back to. Without it, a rank crash is fatal.
     snapshot_every:
         Snapshot cadence in iterations.
+    bucket_mb:
+        When set, gradients are exchanged as size-bounded buckets in
+        reverse layer order, each launched as a nonblocking allreduce as
+        soon as the backward sweep finishes its layers (the overlap-aware
+        path). ``None`` keeps the paper's fused single-buffer exchange.
+        Both paths produce bit-identical weights (pinned by the
+        conformance suite); only the simulated comm schedule differs.
+    backward_s:
+        Modeled per-iteration backward-compute seconds, used to place
+        bucket launches on the simulated timeline (bucket ``b`` is ready
+        once its share of gradient bytes is produced). With the default
+        0.0 every bucket launches at the iteration start and no comm is
+        hidden — timing enrichment only, never data.
     """
 
     def __init__(
@@ -98,6 +114,8 @@ class DistributedTrainer:
         weight_decay: float = 0.0,
         snapshot_prefix: str | None = None,
         snapshot_every: int = 2,
+        bucket_mb: float | None = None,
+        backward_s: float = 0.0,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("need at least one worker")
@@ -105,8 +123,14 @@ class DistributedTrainer:
             raise ValueError(f"unknown algorithm {algorithm!r}; use {set(ALGORITHMS)}")
         if snapshot_every <= 0:
             raise ValueError("snapshot_every must be >= 1")
+        if bucket_mb is not None and bucket_mb <= 0:
+            raise ValueError("bucket_mb must be positive")
+        if backward_s < 0:
+            raise ValueError("backward_s must be >= 0")
         self.algorithm = algorithm
         self.nodes_per_supernode = nodes_per_supernode
+        self.bucket_mb = bucket_mb
+        self.backward_s = backward_s
         self.nets = [net_factory(rank) for rank in range(n_workers)]
         self.solvers = [
             SGDSolver(
@@ -117,7 +141,7 @@ class DistributedTrainer:
             )
             for net in self.nets
         ]
-        self.packers = [GradientPacker(net.params) for net in self.nets]
+        self.packers = [self._make_packer(net) for net in self.nets]
         fabric = TaihuLightFabric(
             n_nodes=max(n_workers, nodes_per_supernode),
             nodes_per_supernode=nodes_per_supernode,
@@ -137,8 +161,23 @@ class DistributedTrainer:
         self.snapshot_prefix = snapshot_prefix
         self.snapshot_every = snapshot_every
         self._last_snapshot = 0
+        #: Nonblocking launch queue of the iteration in flight (bucketed
+        #: runs only); cleared by :meth:`_recover` so a crash never leaks
+        #: launched-but-uncompleted bucket state across a rebuild.
+        self._queue: IAllreduceQueue | None = None
         if snapshot_prefix is not None:
             save_solver(self.solvers[0], snapshot_path(snapshot_prefix, 0))
+
+    def _make_packer(self, net: Net):
+        """Fused packer by default; bucketed when ``bucket_mb`` is set."""
+        if self.bucket_mb is None:
+            return GradientPacker(net.params)
+        layer_ids = [
+            i for i, layer in enumerate(net.layers) for _ in layer.params
+        ]
+        return BucketedPacker(
+            net.params, self.bucket_mb * 1e6, layer_ids=layer_ids
+        )
 
     @property
     def n_workers(self) -> int:
@@ -175,6 +214,9 @@ class DistributedTrainer:
 
     def _one_iteration(self, stats: DistributedStats) -> None:
         """One synchronous iteration: local grads, allreduce, update."""
+        if self.bucket_mb is not None:
+            self._one_iteration_bucketed(stats)
+            return
         # Local forward/backward on each worker's shard.
         iter_losses = []
         for net in self.nets:
@@ -190,6 +232,74 @@ class DistributedTrainer:
         for packer, buf in zip(self.packers, buffers):
             packer.unpack_diffs(buf)
         # Identical updates everywhere.
+        for solver in self.solvers:
+            solver.apply_update()
+            solver.iter += 1
+        stats.losses.append(float(np.mean(iter_losses)))
+
+    def _one_iteration_bucketed(self, stats: DistributedStats) -> None:
+        """Overlap-aware iteration: per-bucket nonblocking allreduces.
+
+        Workers 0..k-2 run their full backward first; the last worker's
+        backward drives the launch schedule through the net's per-layer
+        hooks — once a bucket's layers have all produced gradients on
+        every replica, its allreduce launches immediately. Data-wise each
+        bucket is reduced with the same algorithm and intra-bucket layout
+        as the fused path; time-wise the launches land on the simulated
+        timeline where backward compute can still hide them.
+        """
+        iter_losses = []
+        for net in self.nets[:-1]:
+            net.zero_param_diffs()
+            losses = net.forward()
+            net.backward()
+            iter_losses.append(sum(losses.values()))
+        last = self.nets[-1]
+        last.zero_param_diffs()
+        losses = last.forward()
+
+        lead = self.packers[0]
+        t0 = self.comm.clock.now
+        barrier_s = t0 + self.backward_s
+        cumfrac = lead.cumulative_fractions()
+        queue = IAllreduceQueue(self.comm, self._collective, origin_s=t0)
+        self._queue = queue
+        launched: list[int] = []
+
+        def launch(bucket: int) -> None:
+            bufs = [p.pack_bucket_diffs(bucket) for p in self.packers]
+            queue.iallreduce(
+                bufs,
+                ready_s=t0 + self.backward_s * cumfrac[bucket],
+                average=True,
+                tag=f"bucket{bucket}",
+            )
+            launched.append(bucket)
+
+        def hook(layer, index) -> None:
+            while (
+                len(launched) < lead.n_buckets
+                and lead.ready_layer[len(launched)] >= index
+            ):
+                launch(len(launched))
+
+        last.add_backward_hook(hook)
+        try:
+            last.backward()
+        finally:
+            last.remove_backward_hook(hook)
+        iter_losses.append(sum(losses.values()))
+        # Hook-less nets (or params outside any layer) cannot occur, but a
+        # bucket that never triggered must still be exchanged.
+        while len(launched) < lead.n_buckets:
+            launch(len(launched))
+        requests = queue.wait_all(barrier_s=barrier_s)
+        self._queue = None
+        stats.comm_time_s += self.comm.clock.now - t0
+        stats.comm_hidden_s += sum(r.hidden_before(barrier_s) for r in requests)
+        for bucket, req in enumerate(requests):
+            for worker, packer in enumerate(self.packers):
+                packer.unpack_bucket_diffs(bucket, req.buffers[worker])
         for solver in self.solvers:
             solver.apply_update()
             solver.iter += 1
@@ -239,6 +349,13 @@ class DistributedTrainer:
         survivors = survivor_indices(self.active, dead_external)
         if not survivors:
             raise FaultError(f"all ranks crashed at iteration {self.global_iter}")
+        # Launched-but-uncompleted bucket allreduces die with the old
+        # communicator: their buffers must never be unpacked after the
+        # rollback, or partially-reduced gradients would leak into the
+        # rebuilt roster's first iteration.
+        if self._queue is not None:
+            self._queue.discard()
+            self._queue = None
         self.shrink_to(survivors)
         resume = self._last_snapshot
         path = snapshot_path(self.snapshot_prefix, resume)

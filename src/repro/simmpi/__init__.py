@@ -21,6 +21,7 @@ The collective family:
 
 from repro.simmpi.process import Placement
 from repro.simmpi.comm import SimComm, CollectiveResult
+from repro.simmpi.nonblocking import IAllreduceQueue, PendingCollective
 from repro.simmpi.reorder import block_placement, round_robin_placement
 from repro.simmpi.collectives import (
     ring_allreduce,
@@ -49,6 +50,8 @@ __all__ = [
     "Placement",
     "SimComm",
     "CollectiveResult",
+    "IAllreduceQueue",
+    "PendingCollective",
     "block_placement",
     "round_robin_placement",
     "ring_allreduce",

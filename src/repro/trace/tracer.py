@@ -40,6 +40,8 @@ SPAN_CATEGORIES = (
     "cpe_compute",   # CPE pipeline work
     "ldm_alloc",     # instant: LDM buffer reservation
     "collective_step",  # one lockstep round of a simulated collective
+    "collective_launch",  # instant: a nonblocking collective was launched
+    "overlap_window",   # portion of a collective hidden behind backward compute
     "layer_fwd",     # one layer's forward pass
     "layer_bwd",     # one layer's backward pass
     "solver_iter",   # one full solver iteration

@@ -113,3 +113,47 @@ def test_invalid_configuration():
         DistributedTrainer(lambda r: None, n_workers=0)
     with pytest.raises(ValueError):
         DistributedTrainer(lambda r: None, n_workers=2, algorithm="gossip")
+
+
+class TestBucketedTrainer:
+    def trainer(self, **kw):
+        n_workers, per_worker, dim, classes, steps = 4, 3, 5, 3, 4
+        data = make_batches(steps, n_workers, per_worker, dim, classes)
+
+        def shard(rank):
+            return ShardSource(
+                [
+                    (img[rank * per_worker : (rank + 1) * per_worker],
+                     lab[rank * per_worker : (rank + 1) * per_worker])
+                    for img, lab in data
+                ]
+            )
+
+        return DistributedTrainer(
+            net_factory=lambda rank: build_net(shard(rank), per_worker, classes),
+            n_workers=n_workers,
+            algorithm="rhd",
+            **kw,
+        )
+
+    def test_backward_window_hides_comm(self):
+        t = self.trainer(bucket_mb=1e-4, backward_s=2.0)
+        stats = t.step(3)
+        assert t.packers[0].n_buckets > 1
+        assert stats.comm_hidden_s > 0
+        assert stats.comm_hidden_s <= stats.comm_time_s
+
+    def test_zero_backward_window_hides_nothing(self):
+        # backward_s=0: every launch is ready at the barrier, all exposed.
+        stats = self.trainer(bucket_mb=1e-4).step(3)
+        assert stats.comm_hidden_s == 0.0
+
+    def test_fused_path_reports_no_hidden_time(self):
+        stats = self.trainer().step(3)
+        assert stats.comm_hidden_s == 0.0
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            self.trainer(bucket_mb=0.0)
+        with pytest.raises(ValueError):
+            self.trainer(backward_s=-1.0)

@@ -148,3 +148,55 @@ class TestNet:
     def test_layer_by_name_missing(self):
         with pytest.raises(KeyError):
             tiny_net().layer_by_name("ghost")
+
+
+class TestBackwardHooks:
+    def test_hooks_fire_last_to_first_with_indices(self):
+        net = tiny_net()
+        net.forward()
+        seen = []
+        net.add_backward_hook(lambda layer, index: seen.append((index, layer.name)))
+        net.backward()
+        indices = [i for i, _ in seen]
+        assert indices == list(range(len(net.layers) - 1, -1, -1))
+        assert seen[0][1] == "loss" and seen[-1][1] == "data"
+
+    def test_hook_sees_completed_gradients(self):
+        # By the time the hook fires for a layer, that layer's param
+        # gradients are final (backward has fully processed it).
+        net = tiny_net()
+        net.forward()
+        grabbed = {}
+
+        def hook(layer, index):
+            if layer.params:
+                grabbed[layer.name] = [p.diff.copy() for p in layer.params]
+
+        net.add_backward_hook(hook)
+        net.backward()
+        for name, diffs in grabbed.items():
+            layer = net.layer_by_name(name)
+            for got, final in zip(diffs, [p.diff for p in layer.params]):
+                assert np.array_equal(got, final)
+
+    def test_remove_backward_hook(self):
+        net = tiny_net()
+        net.forward()
+        calls = []
+        hook = lambda layer, index: calls.append(index)
+        net.add_backward_hook(hook)
+        net.backward()
+        n = len(calls)
+        net.remove_backward_hook(hook)
+        net.forward()
+        net.backward()
+        assert len(calls) == n
+
+    def test_multiple_hooks_all_fire(self):
+        net = tiny_net()
+        net.forward()
+        a, b = [], []
+        net.add_backward_hook(lambda l, i: a.append(i))
+        net.add_backward_hook(lambda l, i: b.append(i))
+        net.backward()
+        assert a == b and len(a) == len(net.layers)

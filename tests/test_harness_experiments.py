@@ -220,3 +220,34 @@ class TestAblations:
 
     def test_render(self):
         assert "gain" in ablations.render([ablations.io_striping_ablation()])
+
+
+class TestFig11Overlap:
+    """The bucketed-overlap variant of the Fig. 11 sweep."""
+
+    @pytest.fixture(scope="class")
+    def bucketed_points(self):
+        return fig10_scalability.generate(bucket_mb=96.0)
+
+    def test_exposed_comm_strictly_below_fused_at_16_plus(
+        self, scaling_points, bucketed_points
+    ):
+        fused = {(p.label, p.n_nodes): p for p in scaling_points}
+        bucketed = {(p.label, p.n_nodes): p for p in bucketed_points}
+        for (label, n), fp in fused.items():
+            if n < 16:
+                continue
+            bp = bucketed[(label, n)]
+            assert bp.comm_fraction < fp.comm_fraction, (label, n)
+            assert bp.overlap_hidden_s > 0.0, (label, n)
+            assert bp.iteration_s < fp.iteration_s, (label, n)
+
+    def test_fused_points_report_no_hidden_time(self, scaling_points):
+        assert all(p.overlap_hidden_s == 0.0 for p in scaling_points)
+
+    def test_overlap_render_compares_both_sweeps(self):
+        from repro.harness import fig11_comm_ratio
+
+        out = fig11_comm_ratio.render_overlap(96.0)
+        assert "fused" in out and "bucketed" in out
+        assert "hidden behind backward" in out
