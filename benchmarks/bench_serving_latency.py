@@ -1,0 +1,41 @@
+"""Serving latency benchmark: dynamic batching vs batch=1 at a fixed SLO.
+
+The committed baseline pins the harness's operating point (LeNet at
+40 req/s, 2.5x the batch=1 service rate): the dynamic batcher's p99,
+goodput and SLO attainment, and the batch=1 server's collapse. All values
+are simulated seconds — deterministic, bit-stable across machines — so any
+drift is a real change in the engine, the batcher, or the kernel cost
+models (``tools/bench_compare.py`` flags it).
+
+The in-test assertions restate the tentpole acceptance criterion: dynamic
+batching must beat batch=1 on throughput *and* goodput at no worse SLO
+attainment.
+"""
+
+from repro.harness.serving_latency import SLO_S, generate
+
+
+def test_serving_latency(benchmark):
+    comparison = benchmark(generate)
+    b1, dy = comparison.batch1, comparison.dynamic
+
+    assert dy.throughput_rps > b1.throughput_rps
+    assert dy.goodput_rps > b1.goodput_rps
+    assert dy.slo_attainment >= b1.slo_attainment
+    assert dy.latency_percentile(99) <= SLO_S
+
+    benchmark.record("dynamic_p99_s", dy.latency_percentile(99), "s")
+    benchmark.record("dynamic_goodput_rps", dy.goodput_rps, "req/s",
+                     direction="higher")
+    benchmark.record("dynamic_slo_attainment", dy.slo_attainment, "",
+                     direction="higher")
+    benchmark.record("dynamic_mean_batch", dy.mean_batch_size, "req",
+                     direction="higher")
+    benchmark.record("batch1_p99_s", b1.latency_percentile(99), "s")
+    benchmark.record("batch1_goodput_rps", b1.goodput_rps, "req/s",
+                     direction="higher")
+    benchmark.record("batch1_shed", b1.n_shed, "req")
+    benchmark.record(
+        "goodput_speedup", dy.goodput_rps / b1.goodput_rps, "x",
+        direction="higher",
+    )

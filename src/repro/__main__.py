@@ -1,11 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
+The command set lives in :data:`REGISTRY` — one :class:`Command` per
+subcommand, each carrying its own usage/description lines — and the help
+text is *generated* from it, so ``python -m repro --help`` can never drift
+from the commands that actually dispatch (pinned by
+``tests/test_cli_and_multiloss.py``).
+
 Commands
 --------
 report
     Regenerate every paper table/figure (minutes; builds the model zoo).
 experiment NAME
-    Run one harness by name (``table2``, ``fig10``, ``ablations``, ...).
+    Run one harness by name (``table2``, ``fig10``, ``serving``, ...).
 profile NET [BATCH]
     Print the simulated SW26010 profile of a model-zoo network.
 trace NET [options]
@@ -20,6 +26,11 @@ chaos NET [options]
     stragglers, rank crashes) with elastic recovery, then verify the
     final weights bit-for-bit against a fault-free reference run
     (see docs/robustness.md).
+serve NET [options]
+    Replay a seeded request-arrival stream through the batched-inference
+    engine: dynamic batching, per-request latency percentiles, SLO
+    attainment, and a Perfetto-loadable serving trace
+    (see docs/serving.md).
 train [ITERS]
     Run the LeNet quickstart training loop.
 list
@@ -29,6 +40,8 @@ list
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass
+from typing import Callable
 
 #: Experiment name -> harness module path.
 EXPERIMENTS = {
@@ -49,6 +62,7 @@ EXPERIMENTS = {
     "straggler": "repro.harness.straggler_study",
     "allreduce-sweep": "repro.harness.allreduce_sweep",
     "roofline": "repro.harness.roofline_report",
+    "serving": "repro.harness.serving_latency",
 }
 
 #: Network name -> (builder path, default batch).
@@ -64,30 +78,12 @@ NETWORKS = {
 }
 
 
-def _usage() -> str:
-    return (
-        "usage: python -m repro <command>\n\n"
-        "commands:\n"
-        "  report                regenerate every paper table/figure\n"
-        f"  experiment NAME       one of: {', '.join(sorted(EXPERIMENTS))}\n"
-        f"  profile NET [BATCH]   one of: {', '.join(sorted(NETWORKS))}\n"
-        "  trace NET [--ranks N] [--iters K] [--batch B] [--out FILE]\n"
-        "        [--scheme improved|original] [--timeline]\n"
-        "                        trace one simulated training step and\n"
-        "                        export Perfetto-loadable JSON\n"
-        "  metrics NET [--ranks N] [--iters K] [--batch B] [--json FILE]\n"
-        "        [--trace FILE] [--scheme improved|original] [--supernode Q]\n"
-        "                        per-resource utilization + per-layer\n"
-        "                        roofline of the same simulated step\n"
-        "  chaos NET [--ranks N] [--iters K] [--batch B] [--faults SEED]\n"
-        "        [--algorithm rhd|ring|topo-aware] [--supernode Q]\n"
-        "        [--snapshot-every K] [--trace FILE] [--no-verify]\n"
-        "                        fault-injected training with elastic\n"
-        "                        recovery, verified against a fault-free\n"
-        "                        reference (docs/robustness.md)\n"
-        "  train [ITERS]         quickstart LeNet training\n"
-        "  list                  show experiments and networks\n"
-    )
+def _load_builder(net: str):
+    """Resolve a network name to its model-zoo build function."""
+    import importlib
+
+    mod_path, fn_name, default_batch = NETWORKS[net]
+    return getattr(importlib.import_module(mod_path), fn_name), default_batch
 
 
 def _fail(what: str, got: str, known: dict) -> int:
@@ -128,17 +124,14 @@ def cmd_profile(args: list[str]) -> int:
         return 2
     if args[0] not in NETWORKS:
         return _fail("network", args[0], NETWORKS)
-    import importlib
-
     from repro.utils.profiler import NetProfiler
 
-    mod_path, fn_name, default_batch = NETWORKS[args[0]]
+    builder, default_batch = _load_builder(args[0])
     try:
         batch = int(args[1]) if len(args) > 1 else default_batch
     except ValueError:
         print(f"error: batch must be an integer, got {args[1]!r}", file=sys.stderr)
         return 2
-    builder = getattr(importlib.import_module(mod_path), fn_name)
     net = builder(batch_size=batch)
     print(NetProfiler(net).render())
     return 0
@@ -146,7 +139,6 @@ def cmd_profile(args: list[str]) -> int:
 
 def cmd_trace(args: list[str]) -> int:
     import argparse
-    import importlib
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
@@ -172,8 +164,7 @@ def cmd_trace(args: list[str]) -> int:
     from repro.trace.session import trace_training_step
     from repro.utils.units import format_bytes, format_time
 
-    mod_path, fn_name, default_batch = NETWORKS[ns.net]
-    builder = getattr(importlib.import_module(mod_path), fn_name)
+    builder, default_batch = _load_builder(ns.net)
     net = builder(batch_size=ns.batch if ns.batch is not None else default_batch)
     tracer, summary = trace_training_step(
         net,
@@ -201,7 +192,6 @@ def cmd_trace(args: list[str]) -> int:
 
 def cmd_metrics(args: list[str]) -> int:
     import argparse
-    import importlib
 
     parser = argparse.ArgumentParser(
         prog="python -m repro metrics",
@@ -232,8 +222,7 @@ def cmd_metrics(args: list[str]) -> int:
     from repro.metrics.session import collect_training_step
     from repro.trace.tracer import Tracer
 
-    mod_path, fn_name, default_batch = NETWORKS[ns.net]
-    builder = getattr(importlib.import_module(mod_path), fn_name)
+    builder, default_batch = _load_builder(ns.net)
     net = builder(batch_size=ns.batch if ns.batch is not None else default_batch)
     tracer = Tracer() if ns.trace else None
     report = collect_training_step(
@@ -256,7 +245,6 @@ def cmd_metrics(args: list[str]) -> int:
 
 def cmd_chaos(args: list[str]) -> int:
     import argparse
-    import importlib
 
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
@@ -300,8 +288,7 @@ def cmd_chaos(args: list[str]) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    mod_path, fn_name, default_batch = NETWORKS[ns.net]
-    builder = getattr(importlib.import_module(mod_path), fn_name)
+    builder, default_batch = _load_builder(ns.net)
     batch = ns.batch if ns.batch is not None else default_batch
 
     def net_factory(rank: int):
@@ -324,6 +311,126 @@ def cmd_chaos(args: list[str]) -> int:
         write_chrome_json(tracer, ns.trace)
         print(f"wrote {len(tracer.spans)} spans to {ns.trace} (load in ui.perfetto.dev)")
     return 0 if report.weights_match in (True, None) else 1
+
+
+def cmd_serve(args: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Replay a seeded request-arrival stream through the batched-"
+            "inference engine on the simulated clock: dynamic batching, "
+            "per-request latency percentiles, SLO attainment."
+        ),
+    )
+    parser.add_argument("net", choices=sorted(NETWORKS), help="model-zoo network")
+    parser.add_argument(
+        "--arrivals", default="poisson:0xc0ffee:0", metavar="SEED",
+        help="arrival seed string '<profile>:<hex>:<index>' "
+             "(profiles: poisson, bursty, steady; default poisson:0xc0ffee:0)",
+    )
+    parser.add_argument("--requests", type=int, default=200,
+                        help="requests to replay (default 200)")
+    parser.add_argument("--rate", type=float, default=None, metavar="RPS",
+                        help="offered load in requests/s (default: 60%% of "
+                             "batched capacity)")
+    parser.add_argument("--slo-ms", type=float, default=50.0,
+                        help="latency SLO in milliseconds (default 50)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="dynamic batching: max batch size (default 8)")
+    parser.add_argument("--max-wait-ms", type=float, default=10.0,
+                        help="dynamic batching: max queue wait before a "
+                             "partial batch dispatches (default 10)")
+    parser.add_argument("--queue-bound", type=int, default=64,
+                        help="admission queue depth before shedding (default 64)")
+    parser.add_argument("--faults", default=None, metavar="SEED",
+                        help="also run under a fault seed (docs/robustness.md)")
+    parser.add_argument("--trace", default="serve-trace.json", metavar="FILE",
+                        help="Chrome trace-event output path (default "
+                             "serve-trace.json)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip trace collection and export")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the machine-readable report")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print the text timeline of the serving trace")
+    parser.add_argument("--explain-plans", action="store_true",
+                        help="show per-conv-layer plan choice vs batch size")
+    ns = parser.parse_args(args)
+
+    from repro.serve import (
+        NetForwardCostModel,
+        PROFILES,
+        ServeConfig,
+        parse_seed_string,
+        run_serving,
+    )
+    from repro.trace import render_timeline, write_chrome_json
+    from repro.trace.tracer import Tracer
+
+    try:
+        profile, _, _ = parse_seed_string(ns.arrivals)
+        if profile not in PROFILES:
+            raise ValueError(
+                f"unknown arrival profile {profile!r} (choose from {PROFILES})"
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if ns.faults is not None:
+        from repro.faults.plan import parse_seed_string as parse_fault_seed
+
+        try:
+            parse_fault_seed(ns.faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        config = ServeConfig(
+            max_batch=ns.max_batch,
+            max_wait_s=ns.max_wait_ms / 1e3,
+            queue_bound=ns.queue_bound,
+            slo_s=ns.slo_ms / 1e3,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    builder, _ = _load_builder(ns.net)
+    tracer = None if ns.no_trace else Tracer()
+    report = run_serving(
+        builder,
+        arrivals_seed=ns.arrivals,
+        n_requests=ns.requests,
+        rate_rps=ns.rate,
+        config=config,
+        fault_seed=ns.faults,
+        model=ns.net,
+        tracer=tracer,
+    )
+    print(report.render())
+    if ns.json:
+        report.write_json(ns.json)
+        print(f"\nwrote serving report to {ns.json}")
+    if tracer is not None:
+        write_chrome_json(tracer, ns.trace)
+        print(f"wrote {len(tracer.spans)} spans to {ns.trace} (load in ui.perfetto.dev)")
+        if ns.timeline:
+            print()
+            print(render_timeline(tracer))
+    if ns.explain_plans:
+        cost_model = NetForwardCostModel(builder, name=ns.net)
+        batches = tuple(sorted({1, 4, ns.max_batch}))
+        print()
+        print(f"forward plan choice vs batch size ({ns.net}):")
+        print(f"  {'batch':>5}  {'layer':<12} {'plan':<22} {'forward_s':>10}")
+        for row in cost_model.plan_table(batches):
+            print(
+                f"  {row['batch']:>5}  {row['layer']:<12} "
+                f"{row['plan']:<22} {row['forward_s']:>10.6f}"
+            )
+    return 0
 
 
 def cmd_train(args: list[str]) -> int:
@@ -349,16 +456,123 @@ def cmd_list(_: list[str]) -> int:
     return 0
 
 
-COMMANDS = {
-    "report": cmd_report,
-    "experiment": cmd_experiment,
-    "profile": cmd_profile,
-    "trace": cmd_trace,
-    "metrics": cmd_metrics,
-    "chaos": cmd_chaos,
-    "train": cmd_train,
-    "list": cmd_list,
+@dataclass(frozen=True)
+class Command:
+    """One CLI subcommand: dispatch target plus its own help lines.
+
+    ``usage`` is the invocation synopsis — the first element starts with the
+    command name; extra elements render as 8-space continuation lines.
+    ``help`` lines render in the 24-column description field. The generated
+    help can therefore never list a command that does not dispatch, nor
+    dispatch a command the help omits.
+    """
+
+    name: str
+    handler: Callable[[list[str]], int]
+    usage: tuple[str, ...]
+    help: tuple[str, ...]
+
+
+#: The single source of truth for the command set. ``--help`` output and
+#: dispatch both derive from it (pinned by the help == registry test).
+REGISTRY: dict[str, Command] = {
+    cmd.name: cmd
+    for cmd in (
+        Command(
+            "report", cmd_report,
+            ("report",),
+            ("regenerate every paper table/figure",),
+        ),
+        Command(
+            "experiment", cmd_experiment,
+            ("experiment NAME",),
+            (f"one of: {', '.join(sorted(EXPERIMENTS))}",),
+        ),
+        Command(
+            "profile", cmd_profile,
+            ("profile NET [BATCH]",),
+            (f"one of: {', '.join(sorted(NETWORKS))}",),
+        ),
+        Command(
+            "trace", cmd_trace,
+            (
+                "trace NET [--ranks N] [--iters K] [--batch B] [--out FILE]",
+                "[--scheme improved|original] [--timeline]",
+            ),
+            (
+                "trace one simulated training step and",
+                "export Perfetto-loadable JSON",
+            ),
+        ),
+        Command(
+            "metrics", cmd_metrics,
+            (
+                "metrics NET [--ranks N] [--iters K] [--batch B] [--json FILE]",
+                "[--trace FILE] [--scheme improved|original] [--supernode Q]",
+            ),
+            (
+                "per-resource utilization + per-layer",
+                "roofline of the same simulated step",
+            ),
+        ),
+        Command(
+            "chaos", cmd_chaos,
+            (
+                "chaos NET [--ranks N] [--iters K] [--batch B] [--faults SEED]",
+                "[--algorithm rhd|ring|topo-aware] [--supernode Q]",
+                "[--snapshot-every K] [--trace FILE] [--no-verify]",
+            ),
+            (
+                "fault-injected training with elastic",
+                "recovery, verified against a fault-free",
+                "reference (docs/robustness.md)",
+            ),
+        ),
+        Command(
+            "serve", cmd_serve,
+            (
+                "serve NET [--arrivals SEED] [--requests N] [--rate RPS]",
+                "[--slo-ms MS] [--max-batch B] [--max-wait-ms MS]",
+                "[--queue-bound N] [--faults SEED] [--trace FILE]",
+                "[--json FILE] [--timeline] [--explain-plans]",
+            ),
+            (
+                "replay a seeded arrival stream through",
+                "the batched-inference engine: latency",
+                "percentiles, SLO attainment, Perfetto",
+                "trace (docs/serving.md)",
+            ),
+        ),
+        Command(
+            "train", cmd_train,
+            ("train [ITERS]",),
+            ("quickstart LeNet training",),
+        ),
+        Command(
+            "list", cmd_list,
+            ("list",),
+            ("show experiments and networks",),
+        ),
+    )
 }
+
+#: Name -> handler view of :data:`REGISTRY` (kept for importers/tests).
+COMMANDS = {name: cmd.handler for name, cmd in REGISTRY.items()}
+
+
+def _usage() -> str:
+    """Render the help text from :data:`REGISTRY` (never hand-written)."""
+    lines = ["usage: python -m repro <command>", "", "commands:"]
+    for cmd in REGISTRY.values():
+        first = f"  {cmd.usage[0]}"
+        descriptions = list(cmd.help)
+        if len(cmd.usage) == 1 and len(first) < 24 and descriptions:
+            lines.append(f"{first:<24}{descriptions.pop(0)}")
+        else:
+            lines.append(first)
+            lines.extend(f"        {u}" for u in cmd.usage[1:])
+        lines.extend(f"{' ' * 24}{d}" for d in descriptions)
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -237,3 +237,37 @@ def charge_transient(site: str, clock, base_s: float, *, track: str) -> int:
         mx.count("faults.retry_s", extra)
     clock.advance(extra, category="fault")
     return k
+
+
+def transient_delay(site: str, base_s: float, *, track: str, at_s: float) -> float:
+    """Clock-less sibling of :func:`charge_transient` for event-driven hosts.
+
+    The serving engine (:mod:`repro.serve.engine`) keeps its own event time
+    instead of a :class:`~repro.hw.clock.SimClock`, so this variant returns
+    the retry overhead in seconds for the caller to add to its timeline —
+    same decision, same trace spans (pinned at ``at_s``), same ``faults.*``
+    counters. Returns 0.0 when injection is disabled or the invocation
+    succeeds first try.
+    """
+    fi = active()
+    if not fi.enabled:
+        return 0.0
+    k, extra = fi.transient(site, base_s)
+    if k == 0:
+        return 0.0
+    kind = SITE_KINDS[site]
+    tr = _tracer()
+    if tr.enabled:
+        tr.instant_event(
+            kind, "fault_inject", track=track, start=at_s, args={"retries": k}
+        )
+        tr.emit(
+            f"{kind} retry", "fault_retry", track=track,
+            start=at_s, dur=extra, args={"retries": k, "base_s": base_s},
+        )
+    mx = _metrics()
+    if mx.enabled:
+        mx.count("faults.injected", k, kind=kind)
+        mx.count("faults.retries", k)
+        mx.count("faults.retry_s", extra)
+    return extra

@@ -72,6 +72,15 @@ METRIC_NAMES = (
     "faults.timeout_s",     # counter: simulated seconds spent waiting out timeouts
     "faults.rank_rebuilds",  # counter: elastic communicator rebuilds
     "faults.slow_s",        # counter: extra seconds from stragglers/degradation
+    "serve.requests",       # counter, label outcome=completed|shed: offered requests
+    "serve.batches",        # counter: batches dispatched by the dynamic batcher
+    "serve.batch_size",     # histogram: per-dispatch batch sizes
+    "serve.queue_depth",    # high-water mark: worst admission-queue depth
+    "serve.queue_wait_s",   # histogram: per-request wait for the engine to free
+    "serve.batch_wait_s",   # histogram: per-request wait for its batch to form
+    "serve.compute_s",      # counter: engine-busy seconds across batches
+    "serve.latency_s",      # histogram: per-request end-to-end latency
+    "serve.slo_miss",       # counter: completed requests that missed the SLO
 )
 
 

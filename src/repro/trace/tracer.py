@@ -48,6 +48,10 @@ SPAN_CATEGORIES = (
     "plan_cost",     # a kernel plan's priced invocation
     "fault_inject",  # instant: an injected fault fired (repro.faults)
     "fault_retry",   # retry/backoff/timeout time charged to recovery
+    "request_queued",  # instant: a serving request entered the admission queue
+    "request_shed",    # instant: a serving request was shed at the queue bound
+    "batch_dispatch",  # instant: the dynamic batcher formed and launched a batch
+    "batch_compute",   # a dispatched batch's forward-only execution
 )
 
 

@@ -1,0 +1,68 @@
+"""The CLI help is generated from the command registry — and stays so.
+
+``python -m repro --help`` used to be a hand-written string; commands
+(``chaos``, ``metrics``) had to be added twice and could drift. Now
+:data:`repro.__main__.REGISTRY` is the single source of truth and these
+tests pin the contract: every registered command appears in the help, the
+help lists nothing unregistered, and dispatch agrees with both.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.__main__ import COMMANDS, REGISTRY, _usage, main
+
+#: A command line in the generated help: two-space indent, then the name.
+_HELP_COMMAND_RE = re.compile(r"^  (\w[\w-]*)", re.MULTILINE)
+
+
+def help_commands() -> set[str]:
+    body = _usage().split("commands:", 1)[1]
+    return set(_HELP_COMMAND_RE.findall(body))
+
+
+class TestHelpEqualsRegistry:
+    def test_help_lists_exactly_the_registered_commands(self):
+        assert help_commands() == set(REGISTRY)
+
+    def test_dispatch_table_is_a_view_of_the_registry(self):
+        assert set(COMMANDS) == set(REGISTRY)
+        for name, cmd in REGISTRY.items():
+            assert COMMANDS[name] is cmd.handler
+            assert cmd.name == name
+            assert cmd.usage[0].split()[0] == name
+            assert cmd.help  # every command explains itself
+
+    def test_serve_is_registered(self):
+        assert "serve" in REGISTRY
+        assert "serve" in help_commands()
+
+    def test_help_output_goes_through_the_generator(self, capsys):
+        assert main(["--help"]) == 0
+        assert capsys.readouterr().out == _usage() + "\n"
+
+
+class TestServeArgs:
+    def test_malformed_arrival_seed_exits_2(self, capsys):
+        assert main(["serve", "lenet", "--arrivals", "nope"]) == 2
+        assert "malformed arrival seed" in capsys.readouterr().err
+
+    def test_unknown_profile_exits_2(self, capsys):
+        assert main(["serve", "lenet", "--arrivals", "tsunami:0x1:0"]) == 2
+
+    def test_malformed_fault_seed_exits_2(self, capsys):
+        assert (
+            main(["serve", "lenet", "--faults", "not-a-seed"]) == 2
+        )
+
+    def test_invalid_batching_knobs_exit_2(self, capsys):
+        assert main(["serve", "lenet", "--max-batch", "0"]) == 2
+        assert "max_batch" in capsys.readouterr().err
+
+    def test_unknown_net_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "nosuchnet"])
+        assert exc.value.code == 2

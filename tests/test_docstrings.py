@@ -1,0 +1,65 @@
+"""Docstring-coverage ratchet: tier-1 wrapper around the lint.
+
+``tools/check_docstrings.py`` (also a CI step) counts public definitions
+under ``src/repro`` and fails when the documented fraction drops below the
+pinned floor. The floor only ever rises — see the tool's docstring.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "check_docstrings", ROOT / "tools" / "check_docstrings.py"
+)
+check_docstrings = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docstrings)
+
+
+def test_coverage_meets_the_pinned_floor():
+    results = check_docstrings.collect(ROOT)
+    percent = check_docstrings.coverage_percent(results)
+    assert percent >= check_docstrings.DEFAULT_MIN_PERCENT
+
+
+def test_cli_agrees_with_the_library_path(capsys):
+    assert check_docstrings.main([str(ROOT)]) == 0
+    assert "docstring coverage" in capsys.readouterr().out
+
+
+def test_checker_detects_breakage(tmp_path, capsys):
+    """A tree of undocumented public API must fail (a lint that cannot
+    fail proves nothing)."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "bare.py").write_text(
+        "def exposed():\n    pass\n\n\nclass Naked:\n    def method(self):\n        pass\n"
+    )
+    results = check_docstrings.collect(tmp_path)
+    names = {name for name, has in results if not has}
+    assert {
+        "src/repro/bare.py",
+        "src/repro/bare.py:exposed",
+        "src/repro/bare.py:Naked",
+        "src/repro/bare.py:Naked.method",
+    } <= names
+    assert check_docstrings.main([str(tmp_path)]) == 1
+
+
+def test_private_and_nested_definitions_are_not_api_surface(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(
+        '"""Documented module."""\n\n'
+        "def _internal():\n    pass\n\n\n"
+        "def outer():\n"
+        '    """Documented."""\n'
+        "    def closure():\n        pass\n"
+    )
+    results = check_docstrings.collect(tmp_path)
+    names = {name for name, _ in results}
+    assert names == {"src/repro/mod.py", "src/repro/mod.py:outer"}
+    assert check_docstrings.coverage_percent(results) == 100.0

@@ -1,0 +1,94 @@
+"""Seeded arrival streams (:mod:`repro.serve.arrivals`).
+
+The replay contract is the whole point: a seed string fully determines the
+request stream, bit-for-bit, in the exact format the fault plans already
+use — so a latency regression reported by CI replays locally from the seed
+in the report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.arrivals import (
+    ArrivalPlan,
+    BASE_SEED,
+    PROFILES,
+    Request,
+    parse_seed_string,
+    seed_string,
+)
+
+
+class TestSeedStrings:
+    def test_round_trip(self):
+        for profile in PROFILES:
+            s = seed_string(profile, 7)
+            assert parse_seed_string(s) == (profile, BASE_SEED, 7)
+
+    def test_hex_with_and_without_prefix_are_the_same_seed(self):
+        assert parse_seed_string("poisson:0xc0ffee:0") == parse_seed_string(
+            "poisson:c0ffee:0"
+        )
+
+    @pytest.mark.parametrize("bad", ["", "poisson", "poisson:zz:0", "a:0x1:b"])
+    def test_malformed_seed_raises(self, bad):
+        with pytest.raises(ValueError, match="malformed arrival seed"):
+            parse_seed_string(bad)
+
+    def test_unknown_profile_rejected_at_plan_build(self):
+        with pytest.raises(ValueError, match="unknown arrival profile"):
+            ArrivalPlan.from_seed("tsunami:0x1:0", rate_rps=10, n_requests=5)
+
+    @pytest.mark.parametrize("rate,n", [(0, 5), (-1.0, 5), (10, 0)])
+    def test_bad_load_shape_rejected(self, rate, n):
+        with pytest.raises(ValueError):
+            ArrivalPlan.from_seed("poisson:0x1:0", rate_rps=rate, n_requests=n)
+
+
+class TestReplay:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_same_seed_same_stream(self, profile):
+        kw = dict(rate_rps=25.0, n_requests=64)
+        a = ArrivalPlan.from_seed(seed_string(profile, 3), **kw).generate()
+        b = ArrivalPlan.from_seed(seed_string(profile, 3), **kw).generate()
+        assert a == b
+
+    @pytest.mark.parametrize("profile", ["poisson", "bursty"])
+    def test_different_index_different_stream(self, profile):
+        kw = dict(rate_rps=25.0, n_requests=64)
+        a = ArrivalPlan.from_seed(seed_string(profile, 0), **kw).generate()
+        b = ArrivalPlan.from_seed(seed_string(profile, 1), **kw).generate()
+        assert a != b
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_arrivals_non_decreasing_and_ids_sequential(self, profile):
+        reqs = ArrivalPlan.from_seed(
+            seed_string(profile, 5), rate_rps=100.0, n_requests=128
+        ).generate()
+        assert [r.rid for r in reqs] == list(range(128))
+        times = [r.arrival_s for r in reqs]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(t > 0 for t in times)
+
+    def test_steady_profile_is_exact_fixed_spacing(self):
+        reqs = ArrivalPlan.from_seed(
+            "steady:0x1:0", rate_rps=50.0, n_requests=10
+        ).generate()
+        gaps = np.diff([0.0] + [r.arrival_s for r in reqs])
+        assert np.allclose(gaps, 0.02)
+
+    @pytest.mark.parametrize("profile", ["poisson", "bursty"])
+    def test_mean_rate_is_roughly_nominal(self, profile):
+        n = 4000
+        reqs = ArrivalPlan.from_seed(
+            seed_string(profile, 0), rate_rps=200.0, n_requests=n
+        ).generate()
+        realized = n / reqs[-1].arrival_s
+        assert realized == pytest.approx(200.0, rel=0.15)
+
+    def test_requests_are_immutable(self):
+        req = Request(rid=0, arrival_s=1.0)
+        with pytest.raises(AttributeError):
+            req.arrival_s = 2.0

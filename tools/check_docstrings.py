@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Docstring-coverage lint (stdlib only; run by CI and tests/test_docstrings.py).
+
+Walks every Python file under ``src/repro/`` with :mod:`ast` and counts
+which *public* definitions carry a docstring: modules, and every class,
+function or (async) method whose name does not start with ``_``. Coverage
+is the documented fraction, and the check is a **ratchet**: the threshold
+is pinned just below the coverage at the time the lint landed (75.3% ->
+floor 75%), so coverage may only ever rise — new public API without a docstring fails CI, and
+anyone raising overall coverage is welcome to raise ``--min`` with it.
+
+Usage::
+
+    python tools/check_docstrings.py [root] [--min PCT] [--list-missing]
+
+Prints the coverage summary and exits 1 if coverage < ``--min`` percent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+#: Coverage floor in percent — pinned just below the measured coverage when
+#: the lint landed (75.3%). Ratchet-only: raise it when coverage rises,
+#: never lower it to let an undocumented API in.
+DEFAULT_MIN_PERCENT = 75.0
+
+
+def is_public(name: str) -> bool:
+    """Public = not underscore-prefixed (dunders like __init__ are not
+    counted as public API surface here; the class docstring covers them)."""
+    return not name.startswith("_")
+
+
+def public_definitions(
+    path: pathlib.Path, rel: str
+) -> list[tuple[str, bool]]:
+    """``(qualified_name, has_docstring)`` for the module and each public def.
+
+    Definitions nested inside functions are skipped (closures and local
+    helpers are implementation detail, not API surface).
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+    out: list[tuple[str, bool]] = [(rel, ast.get_docstring(tree) is not None)]
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = f"{prefix}{child.name}"
+                if is_public(child.name):
+                    out.append((name, ast.get_docstring(child) is not None))
+                if isinstance(child, ast.ClassDef):
+                    walk(child, f"{name}.")
+
+    walk(tree, f"{rel}:")
+    return out
+
+
+def collect(root: pathlib.Path) -> list[tuple[str, bool]]:
+    """All public definitions under ``root/src/repro``."""
+    src = root / "src" / "repro"
+    results: list[tuple[str, bool]] = []
+    for path in sorted(src.rglob("*.py")):
+        rel = str(path.relative_to(root))
+        results.extend(public_definitions(path, rel))
+    return results
+
+
+def coverage_percent(results: list[tuple[str, bool]]) -> float:
+    """Documented fraction in percent (100.0 for an empty tree)."""
+    if not results:
+        return 100.0
+    documented = sum(1 for _, has in results if has)
+    return 100.0 * documented / len(results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root", nargs="?", default=None,
+        help="repo root (default: the tool's grandparent directory)",
+    )
+    parser.add_argument(
+        "--min", type=float, default=DEFAULT_MIN_PERCENT, dest="min_percent",
+        help=f"minimum coverage percent (default {DEFAULT_MIN_PERCENT})",
+    )
+    parser.add_argument(
+        "--list-missing", action="store_true",
+        help="print every public definition lacking a docstring",
+    )
+    ns = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    root = (
+        pathlib.Path(ns.root)
+        if ns.root
+        else pathlib.Path(__file__).resolve().parents[1]
+    )
+
+    results = collect(root)
+    missing = [name for name, has in results if not has]
+    percent = coverage_percent(results)
+    if ns.list_missing:
+        for name in missing:
+            print(f"missing docstring: {name}")
+    print(
+        f"docstring coverage: {len(results) - len(missing)}/{len(results)} "
+        f"public definitions = {percent:.1f}% (floor {ns.min_percent:g}%)"
+    )
+    if percent < ns.min_percent:
+        print(
+            "coverage below floor; document the new API or run with "
+            "--list-missing to see offenders"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
