@@ -17,6 +17,11 @@ profile NET [BATCH]
 trace NET [options]
     Trace a simulated data-parallel training step; export Chrome
     trace-event JSON for ui.perfetto.dev (see docs/observability.md).
+whatif NET [options]
+    Critical-path what-if projection: scale any resource class or layer
+    cost and project the new end-to-end time from the dependency graph;
+    ``--validate`` re-runs the simulator under the same scaling and
+    checks projection == simulation (see docs/observability.md).
 metrics NET [options]
     Measure the same step: per-resource utilization counters and the
     per-layer roofline classification (text, ``--json``, or a Perfetto
@@ -161,6 +166,7 @@ def cmd_trace(args: list[str]) -> int:
     ns = parser.parse_args(args)
 
     from repro.trace import render_attribution, render_timeline, write_chrome_json
+    from repro.trace.critpath import critical_path, path_spans, render_critpath
     from repro.trace.session import trace_training_step
     from repro.utils.units import format_bytes, format_time
 
@@ -184,9 +190,90 @@ def cmd_trace(args: list[str]) -> int:
     print(f"wrote {len(tracer.spans)} spans to {ns.out} (load in ui.perfetto.dev)")
     print()
     print(render_attribution(tracer))
+    print()
+    print(render_critpath(critical_path(tracer)))
     if ns.timeline:
         print()
-        print(render_timeline(tracer))
+        print(render_timeline(tracer, highlight=path_spans(tracer)))
+    return 0
+
+
+def cmd_whatif(args: list[str]) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro whatif",
+        description=(
+            "Project the effect of scaling a resource class or layer cost "
+            "by re-walking the critical-path graph of one traced training "
+            "step; --validate re-runs the simulator under the same scaling "
+            "and checks projection == simulation."
+        ),
+    )
+    parser.add_argument("net", choices=sorted(NETWORKS), help="model-zoo network")
+    parser.add_argument("--ranks", type=int, default=4, help="simulated nodes (default 4)")
+    parser.add_argument("--iters", type=int, default=1, help="iterations to trace")
+    parser.add_argument("--batch", type=int, default=None, help="mini-batch size")
+    parser.add_argument(
+        "--scale", action="append", default=[], metavar="CLASS=FACTOR",
+        help="cost scaling, e.g. dma=0.5, rlc=2.0, layer:conv1=0.25 "
+             "(repeatable)",
+    )
+    parser.add_argument(
+        "--scheme", choices=("improved", "original"), default="improved",
+        help="allreduce rank placement (round-robin vs block)",
+    )
+    parser.add_argument(
+        "--supernode", type=int, default=None,
+        help="nodes per supernode (default: ranks/2 when even)",
+    )
+    parser.add_argument("--validate", action="store_true",
+                        help="re-run the simulator under the scaling and "
+                             "check the projection against it")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable report")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the machine-readable report")
+    ns = parser.parse_args(args)
+
+    from repro.trace.whatif import parse_scales, render_whatif, whatif_training
+
+    try:
+        factors = parse_scales(ns.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    builder, default_batch = _load_builder(ns.net)
+    net = builder(batch_size=ns.batch if ns.batch is not None else default_batch)
+    result = whatif_training(
+        net,
+        factors,
+        ranks=ns.ranks,
+        iterations=ns.iters,
+        scheme=ns.scheme,
+        nodes_per_supernode=ns.supernode,
+        validate=ns.validate,
+    )
+    if ns.json:
+        print(json.dumps(result.to_json(), indent=1, sort_keys=True))
+    else:
+        print(render_whatif(result))
+    if ns.out:
+        with open(ns.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        if not ns.json:
+            print(f"\nwrote what-if report to {ns.out}")
+    if ns.validate and result.validation is not None and not result.validation.ok:
+        print(
+            f"error: projection {result.validation.projected_s!r} != "
+            f"simulation {result.validation.simulated_s!r} "
+            f"(rel err {result.validation.rel_error:.3e})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -502,6 +589,19 @@ REGISTRY: dict[str, Command] = {
             (
                 "trace one simulated training step and",
                 "export Perfetto-loadable JSON",
+            ),
+        ),
+        Command(
+            "whatif", cmd_whatif,
+            (
+                "whatif NET [--ranks N] [--iters K] [--batch B]",
+                "[--scale CLASS=FACTOR ...] [--scheme improved|original]",
+                "[--validate] [--json] [--out FILE]",
+            ),
+            (
+                "critical-path what-if: project end-to-end",
+                "time under scaled resource/layer costs;",
+                "--validate pins projection == simulation",
             ),
         ),
         Command(

@@ -30,6 +30,25 @@ class SnapshotMismatchError(ReproError):
     """
 
 
+class TraceError(ReproError):
+    """Base class for tracing errors (:mod:`repro.trace`)."""
+
+
+class SpanValidationError(TraceError, ValueError):
+    """Raised when a span's geometry is malformed at record time.
+
+    Negative durations (``end < start``), NaN and infinite durations, and
+    non-finite start times are all rejected when the span is emitted —
+    silently recording them would export malformed Chrome JSON and poison
+    the critical-path graph downstream. Subclasses :class:`ValueError` so
+    callers that predate the typed hierarchy keep working.
+    """
+
+
+class CritPathError(TraceError):
+    """Raised when a critical-path graph is inconsistent (e.g. a cycle)."""
+
+
 class FaultError(ReproError):
     """Base class for injected-fault and recovery errors (:mod:`repro.faults`)."""
 

@@ -30,6 +30,10 @@ class Net:
         self._producer: dict[str, Layer] = {}
         self.phase = "train"
         self._backward_hooks: list = []
+        #: Most recent traced layer span: each layer pass depends on the
+        #: one before it (the propagation order), and gradient bucketing
+        #: reads it to anchor a bucket launch to the layer that filled it.
+        self.last_traced_span = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -114,10 +118,14 @@ class Net:
             if tr.enabled:
                 with suspended():  # keep plan-search churn out of the trace
                     cost = layer.sw_forward_cost()
-                emit_cost_spans(
+                parent = emit_cost_spans(
                     tr, f"{layer.name} fwd", cost,
                     cat="layer_fwd", args={"layer_type": layer.type},
                 )
+                if parent is not None:
+                    if self.last_traced_span is not None:
+                        tr.edge(self.last_traced_span, parent)
+                    self.last_traced_span = parent
             if getattr(layer, "is_loss", False):
                 losses[self._tops[layer.name][0]] = layer.loss_weight * float(
                     top[0].data[0]
@@ -228,10 +236,14 @@ class Net:
             if tr.enabled:
                 with suspended():
                     cost = layer.sw_backward_cost()
-                emit_cost_spans(
+                parent = emit_cost_spans(
                     tr, f"{layer.name} bwd", cost,
                     cat="layer_bwd", args={"layer_type": layer.type},
                 )
+                if parent is not None:
+                    if self.last_traced_span is not None:
+                        tr.edge(self.last_traced_span, parent)
+                    self.last_traced_span = parent
             for hook in self._backward_hooks:
                 hook(layer, index)
 

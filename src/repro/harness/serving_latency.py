@@ -108,3 +108,78 @@ def render(comparison: ServingComparison | None = None) -> str:
         "throughput (docs/serving.md)."
     )
     return "\n".join([table.render(), "", note])
+
+
+def render_whatif(scales: list[str] | None = None) -> str:
+    """The ``--whatif`` summary: critical path + projections of the
+    dynamic-batching session at the harness operating point.
+
+    Re-serves the same seeded arrival stream under a tracer, walks the
+    request/batch dependency graph, and projects the makespan and the
+    worst request completion under each ``CLASS=FACTOR`` scaling
+    (default: batch compute halved / doubled — the engine knob).
+    """
+    from repro.trace.critpath import (
+        build_graph,
+        critical_path,
+        render_critpath,
+        request_completions,
+        schedule,
+    )
+    from repro.trace.tracer import Tracer
+    from repro.trace.whatif import parse_scales, project
+    from repro.utils.units import format_time
+
+    tracer = Tracer()
+    run_serving(
+        lenet.build,
+        arrivals_seed=ARRIVALS_SEED,
+        n_requests=N_REQUESTS,
+        rate_rps=RATE_RPS,
+        config=_config(MAX_BATCH),
+        model="lenet",
+        tracer=tracer,
+    )
+    graph = build_graph(tracer)
+    lines = [
+        f"critical path of the dynamic session ({ARRIVALS_SEED}, "
+        f"{N_REQUESTS} requests at {RATE_RPS:g} req/s):",
+        render_critpath(critical_path(graph)),
+    ]
+    for item in scales or ("batch=0.5", "batch=2.0"):
+        factors = parse_scales([item] if isinstance(item, str) else item)
+        proj = project(graph, factors)
+        done = request_completions(graph, schedule(graph, factors))
+        slowest = max(done.items(), key=lambda kv: kv[1])
+        lines.append(
+            f"what-if {item}: makespan {format_time(proj.baseline_s)} -> "
+            f"{format_time(proj.projected_s)} ({proj.speedup:.3f}x); "
+            f"last completion req{slowest[0]} at {format_time(slowest[1])}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry; ``--whatif`` adds the critical-path projection summary."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Dynamic batching vs batch=1 at a fixed SLO"
+    )
+    parser.add_argument(
+        "--whatif", action="store_true",
+        help="print the critical-path / what-if summary of the dynamic session",
+    )
+    parser.add_argument(
+        "--scale", action="append", default=[], metavar="CLASS=FACTOR",
+        help="what-if cost scaling (repeatable; default batch=0.5, 2.0)",
+    )
+    ns = parser.parse_args(argv)
+    print(render())
+    if ns.whatif:
+        print()
+        print(render_whatif(scales=ns.scale or None))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

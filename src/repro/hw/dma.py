@@ -48,6 +48,9 @@ class DMAEngine:
     def __init__(self, params: SW26010Params | None = None, clock: SimClock | None = None) -> None:
         self.params = params or SW_PARAMS
         self.clock = clock or SimClock()
+        #: Most recent traced span on this engine; operations on one
+        #: engine are serial, so each depends on the one before it.
+        self._last_span = None
 
     # ------------------------------------------------------------------ #
     # cost model
@@ -155,11 +158,14 @@ class DMAEngine:
         dt = self.transfer_time(per_cpe, n_cpes, block_bytes=block_bytes)
         tr = _tracer()
         if tr.enabled:
-            tr.emit(
+            span = tr.emit(
                 "dma_get", "dma_transfer", track="dma",
                 start=self.clock.now, dur=dt,
                 args={"bytes": int(out.nbytes), "n_cpes": n_cpes},
             )
+            if self._last_span is not None:
+                tr.edge(self._last_span, span)
+            self._last_span = span
         self._record_metrics("get", out.nbytes, dt)
         self.clock.advance(dt, category="dma")
         if _faults().enabled:
@@ -183,11 +189,14 @@ class DMAEngine:
         dt = self.transfer_time(per_cpe, n_cpes, block_bytes=block_bytes)
         tr = _tracer()
         if tr.enabled:
-            tr.emit(
+            span = tr.emit(
                 "dma_put", "dma_transfer", track="dma",
                 start=self.clock.now, dur=dt,
                 args={"bytes": int(src.nbytes), "n_cpes": n_cpes},
             )
+            if self._last_span is not None:
+                tr.edge(self._last_span, span)
+            self._last_span = span
         self._record_metrics("put", src.nbytes, dt)
         self.clock.advance(dt, category="dma")
         if _faults().enabled:

@@ -27,6 +27,9 @@ class RegisterComm:
     def __init__(self, params: SW26010Params | None = None, clock: SimClock | None = None) -> None:
         self.params = params or SW_PARAMS
         self.clock = clock or SimClock()
+        #: Most recent traced span on this engine; operations on one
+        #: engine are serial, so each depends on the one before it.
+        self._last_span = None
 
     @property
     def word_bytes(self) -> int:
@@ -69,11 +72,14 @@ class RegisterComm:
         dt = self.p2p_time(nbytes, n_concurrent)
         tr = _tracer()
         if tr.enabled:
-            tr.emit(
+            span = tr.emit(
                 "rlc_p2p", "rlc_exchange", track="rlc",
                 start=self.clock.now, dur=dt,
                 args={"bytes": nbytes, "n_concurrent": n_concurrent},
             )
+            if self._last_span is not None:
+                tr.edge(self._last_span, span)
+            self._last_span = span
         self._record_metrics("p2p", nbytes, n_concurrent, dt)
         self.clock.advance(dt, category="rlc")
         if _faults().enabled:
@@ -85,11 +91,14 @@ class RegisterComm:
         dt = self.broadcast_time(nbytes, n_concurrent)
         tr = _tracer()
         if tr.enabled:
-            tr.emit(
+            span = tr.emit(
                 "rlc_bcast", "rlc_exchange", track="rlc",
                 start=self.clock.now, dur=dt,
                 args={"bytes": nbytes, "n_concurrent": n_concurrent},
             )
+            if self._last_span is not None:
+                tr.edge(self._last_span, span)
+            self._last_span = span
         self._record_metrics("bcast", nbytes, n_concurrent, dt)
         self.clock.advance(dt, category="rlc")
         if _faults().enabled:

@@ -81,6 +81,10 @@ METRIC_NAMES = (
     "serve.compute_s",      # counter: engine-busy seconds across batches
     "serve.latency_s",      # histogram: per-request end-to-end latency
     "serve.slo_miss",       # counter: completed requests that missed the SLO
+    "trace.critpath.nodes",        # counter: spans scheduled in the dependency graph
+    "trace.critpath.edges",        # counter: causal edges (explicit + inferred)
+    "trace.critpath.end_to_end_s",  # gauge: longest-path makespan of the trace
+    "trace.critpath.on_path_s",    # counter, label resource=...: critical-path time
 )
 
 

@@ -37,7 +37,8 @@ from repro.faults.injector import active as _injector, transient_delay
 from repro.metrics.registry import active as _metrics
 from repro.serve.arrivals import Request
 from repro.serve.report import RequestRecord, ServeReport
-from repro.trace.tracer import active as _tracer
+from repro.trace.scaling import active as _scaling
+from repro.trace.tracer import Span, active as _tracer
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,8 @@ class ServingEngine:
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
         queue: deque[Request] = deque()
         records: list[RequestRecord] = []
+        queued_spans: dict[int, Span] = {}
+        prev_batch_span: Span | None = None
         t = 0.0  # event time (simulated seconds)
         t_free = 0.0  # when the engine last went idle
         i = 0  # next not-yet-admitted arrival
@@ -126,7 +129,7 @@ class ServingEngine:
                 if mx.enabled:
                     mx.high_water("serve.queue_depth", len(queue))
                 if tr.enabled:
-                    tr.instant_event(
+                    queued_spans[req.rid] = tr.instant_event(
                         f"req{req.rid}", "request_queued",
                         track="serve/requests", start=req.arrival_s,
                         args={"rid": req.rid, "depth": len(queue)},
@@ -150,21 +153,47 @@ class ServingEngine:
             batch = [queue.popleft() for _ in range(min(len(queue), cfg.max_batch))]
             size = len(batch)
             base_s = self.cost_model.compute_s(size) * slow
+            sc = _scaling()
+            if sc.enabled:
+                # What-if validation: one multiply on the batch's forward
+                # time, the same operation the projection applies.
+                base_s *= sc.factor("batch")
             compute_s = base_s + transient_delay(
                 "comm", base_s, track="serve/engine", at_s=t
             )
             if tr.enabled:
+                # When this batch *could* have dispatched, engine
+                # availability aside: its composition's earliest trigger
+                # (full / deadline / arrivals exhausted), no earlier than
+                # its last member's arrival. The critical-path graph floors
+                # the batch there; the gap to the recorded start is engine
+                # backlog, which a what-if can shrink.
+                triggers = [batch[0].arrival_s + cfg.max_wait_s]
+                if size == cfg.max_batch:
+                    triggers.append(batch[-1].arrival_s)
+                if i >= len(pending):
+                    triggers.append(pending[-1].arrival_s if pending else t)
+                ready_s = max(batch[-1].arrival_s, min(triggers))
                 tr.instant_event(
                     f"batch{n_batches}", "batch_dispatch",
                     track="serve/scheduler", start=t,
                     args={"batch_id": n_batches, "size": size,
                           "backlog": len(queue)},
                 )
-                tr.emit(
+                batch_span = tr.emit(
                     f"batch{n_batches} x{size}", "batch_compute",
                     track="serve/engine", start=t, dur=compute_s,
-                    args={"batch_id": n_batches, "size": size},
+                    args={"batch_id": n_batches, "size": size,
+                          "ready_s": ready_s},
                 )
+                for req in batch:
+                    queued = queued_spans.pop(req.rid, None)
+                    if queued is not None:
+                        tr.edge(queued, batch_span)
+                if prev_batch_span is not None:
+                    # One engine: batches execute serially.
+                    tr.edge(prev_batch_span, batch_span)
+                prev_batch_span = batch_span
             for req in batch:
                 queue_s = max(0.0, t_free - req.arrival_s)
                 batch_s = t - max(req.arrival_s, t_free)

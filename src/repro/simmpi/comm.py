@@ -23,7 +23,8 @@ from repro.topology.cost_model import LinearCostModel
 from repro.topology.fabric import TaihuLightFabric
 from repro.metrics.registry import active as _metrics
 from repro.simmpi.process import Placement
-from repro.trace.tracer import active as _tracer
+from repro.trace.scaling import active as _scaling
+from repro.trace.tracer import Span, active as _tracer
 
 
 def reduce_gamma(engine: str = "cpe") -> float:
@@ -105,6 +106,9 @@ class SimComm:
         self.failed_ranks: frozenset[int] = frozenset()
         #: Seconds a step waits on a dead partner before declaring it.
         self.timeout_s: float = 1e-3
+        #: Representative span of the previous traced step; each lockstep
+        #: round depends on the one before it (critical-path edges).
+        self._prev_step_span: Span | None = None
 
     @property
     def p(self) -> int:
@@ -177,14 +181,23 @@ class SimComm:
         if reduce_bytes > 0:
             step_time += self.reduce_time(reduce_bytes)
             result.reduce_bytes += reduce_bytes
+        sc = _scaling()
+        if sc.enabled:
+            # What-if validation: one multiply on the finished step time,
+            # the same operation the critical-path projection applies.
+            step_time *= sc.factor("collective")
         tr = _tracer()
         if tr.enabled:
             # One lockstep round: every participating rank is busy for the
-            # full step on its own collective track.
+            # full step on its own collective track. Ranks that sat out the
+            # previous round still wait for it (lockstep), so every span
+            # depends on the previous step's representative.
             step_idx = result.steps
+            prev = self._prev_step_span
+            first: Span | None = None
             for a, b, nbytes in pairs:
                 for rank, partner in ((a, b), (b, a)):
-                    tr.emit(
+                    span = tr.emit(
                         f"step{step_idx}", "collective_step",
                         track=f"rank{rank}/collective",
                         start=self.clock.now, dur=step_time,
@@ -195,6 +208,12 @@ class SimComm:
                             "reduce_bytes": reduce_bytes,
                         },
                     )
+                    if first is None:
+                        first = span
+                    if prev is not None:
+                        tr.edge(prev, span)
+            if first is not None:
+                self._prev_step_span = first
         mx = _metrics()
         if mx.enabled:
             mx.count("comm.steps", 1)

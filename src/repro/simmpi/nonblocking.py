@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.metrics.registry import active as _metrics
 from repro.simmpi.comm import CollectiveResult, SimComm
-from repro.trace.tracer import active as _tracer
+from repro.trace.tracer import Span, active as _tracer
 
 
 @dataclass
@@ -48,6 +48,10 @@ class PendingCollective:
     #: owns them until :meth:`IAllreduceQueue.wait_all` hands them back.
     buffers: list[np.ndarray] = field(default_factory=list)
     done: bool = False
+    #: The launch instant's trace span (None when tracing is off); the
+    #: service window recorded at :meth:`IAllreduceQueue.wait_all` hangs
+    #: its causal edge off it.
+    launch_span: Span | None = None
 
     @property
     def end_s(self) -> float:
@@ -87,6 +91,8 @@ class IAllreduceQueue:
         self.free_s = self.origin_s
         #: Launched-but-unwaited requests, in launch order.
         self.pending: list[PendingCollective] = []
+        #: Last traced service window — the serial fabric chains them.
+        self._last_service: Span | None = None
 
     def iallreduce(
         self,
@@ -123,7 +129,7 @@ class IAllreduceQueue:
         self.pending.append(req)
         tr = _tracer()
         if tr.enabled:
-            tr.instant_event(
+            req.launch_span = tr.instant_event(
                 f"iallreduce {tag}" if tag else "iallreduce",
                 "collective_launch",
                 track="comm/launch",
@@ -151,6 +157,25 @@ class IAllreduceQueue:
         mx = _metrics()
         for req in completed:
             req.done = True
+            if tr.enabled:
+                svc_args = {"tag": req.tag, "ready_s": req.ready_s}
+                if barrier_s is not None:
+                    svc_args["hidden_s"] = req.hidden_before(barrier_s)
+                    svc_args["exposed_s"] = req.comm_s - svc_args["hidden_s"]
+                svc = tr.emit(
+                    f"allreduce {req.tag}" if req.tag else "allreduce",
+                    "collective_service",
+                    track="comm/fabric",
+                    start=req.start_s,
+                    dur=req.comm_s,
+                    args=svc_args,
+                )
+                if req.launch_span is not None:
+                    tr.edge(req.launch_span, svc)
+                if self._last_service is not None:
+                    # The fabric serves one collective at a time.
+                    tr.edge(self._last_service, svc)
+                self._last_service = svc
             if barrier_s is None:
                 continue
             hidden = req.hidden_before(barrier_s)

@@ -26,6 +26,7 @@ workflow.
 """
 
 from repro.trace.tracer import (
+    EDGE_KINDS,
     NULL_TRACER,
     NullTracer,
     SPAN_CATEGORIES,
@@ -37,6 +38,13 @@ from repro.trace.tracer import (
     suspended,
     tracing,
 )
+from repro.trace.scaling import (
+    NULL_SCALING,
+    CostScaling,
+    NullCostScaling,
+    SCALE_CLASSES,
+    scaling,
+)
 from repro.trace.export import to_chrome, validate_chrome, write_chrome_json
 from repro.trace.timeline import render_timeline
 from repro.trace.attribution import (
@@ -47,6 +55,7 @@ from repro.trace.attribution import (
 )
 
 __all__ = [
+    "EDGE_KINDS",
     "NULL_TRACER",
     "NullTracer",
     "SPAN_CATEGORIES",
@@ -57,6 +66,11 @@ __all__ = [
     "install",
     "suspended",
     "tracing",
+    "NULL_SCALING",
+    "CostScaling",
+    "NullCostScaling",
+    "SCALE_CLASSES",
+    "scaling",
     "to_chrome",
     "validate_chrome",
     "write_chrome_json",
@@ -69,22 +83,47 @@ __all__ = [
 
 # ``repro.trace.session`` pulls in the simmpi/topology stack; it is loaded
 # lazily so hardware-model modules can import this package for their
-# instrumentation hooks without creating an import cycle.
+# instrumentation hooks without creating an import cycle. The critical-path
+# and what-if modules are lazy for the same reason (whatif re-simulates).
 _SESSION_EXPORTS = (
     "SessionSummary",
     "replay_rhd",
     "trace_net_iteration",
     "trace_training_step",
 )
-__all__ += list(_SESSION_EXPORTS)
+_CRITPATH_EXPORTS = (
+    "CritGraph",
+    "CritNode",
+    "CritPathReport",
+    "build_graph",
+    "critical_path",
+    "path_spans",
+    "render_critpath",
+)
+_WHATIF_EXPORTS = (
+    "WhatIfProjection",
+    "WhatIfResult",
+    "WhatIfValidation",
+    "parse_scales",
+    "project",
+    "render_whatif",
+    "whatif_training",
+)
+__all__ += list(_SESSION_EXPORTS) + list(_CRITPATH_EXPORTS) + list(_WHATIF_EXPORTS)
+
+_LAZY_MODULES = {
+    **{name: "repro.trace.session" for name in _SESSION_EXPORTS},
+    **{name: "repro.trace.critpath" for name in _CRITPATH_EXPORTS},
+    **{name: "repro.trace.whatif" for name in _WHATIF_EXPORTS},
+}
 
 
 def __getattr__(name: str):
-    if name in _SESSION_EXPORTS or name == "session":
-        import importlib
+    import importlib
 
-        session = importlib.import_module("repro.trace.session")
-        if name == "session":
-            return session
-        return getattr(session, name)
+    if name in ("session", "critpath", "whatif"):
+        return importlib.import_module(f"repro.trace.{name}")
+    module = _LAZY_MODULES.get(name)
+    if module is not None:
+        return getattr(importlib.import_module(module), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -50,12 +50,24 @@ def _thread_sort_index(thread: str) -> int:
 
 
 def to_chrome(tracer: Tracer | list[Span]) -> dict[str, Any]:
-    """Build the Chrome trace-event JSON object for a tracer's spans."""
-    spans = tracer.spans if isinstance(tracer, Tracer) else list(tracer)
+    """Build the Chrome trace-event JSON object for a tracer's spans.
+
+    Explicit ``dep`` edges recorded by :meth:`Tracer.edge` export as flow
+    events (``"s"``/``"f"`` pairs), which Perfetto renders as arrows from
+    the source span's end to the destination span's start. ``member``
+    edges are containment, not ordering, and are not exported.
+    """
+    if isinstance(tracer, Tracer):
+        spans = tracer.spans
+        dep_edges = [(s, d) for s, d, kind in tracer.edges if kind == "dep"]
+    else:
+        spans = list(tracer)
+        dep_edges = []
     pids: dict[str, int] = {}
     tids: dict[tuple[str, str], int] = {}
     events: list[dict[str, Any]] = []
     meta: list[dict[str, Any]] = []
+    locations: dict[int, tuple[int, int]] = {}
 
     for span in spans:
         process, thread = _split_track(span.track)
@@ -107,6 +119,38 @@ def to_chrome(tracer: Tracer | list[Span]) -> dict[str, Any]:
         if span.args:
             event["args"] = dict(span.args)
         events.append(event)
+        locations[id(span)] = (pids[process], tids[key])
+
+    flow_id = 0
+    for src, dst in dep_edges:
+        src_loc = locations.get(id(src))
+        dst_loc = locations.get(id(dst))
+        if src_loc is None or dst_loc is None:
+            continue  # edge references a span from another tracer
+        flow_id += 1
+        events.append(
+            {
+                "name": "dep",
+                "cat": "critpath",
+                "ph": "s",
+                "id": flow_id,
+                "ts": src.end_s * 1e6,
+                "pid": src_loc[0],
+                "tid": src_loc[1],
+            }
+        )
+        events.append(
+            {
+                "name": "dep",
+                "cat": "critpath",
+                "ph": "f",
+                "bp": "e",  # bind to the enclosing slice
+                "id": flow_id,
+                "ts": dst.start_s * 1e6,
+                "pid": dst_loc[0],
+                "tid": dst_loc[1],
+            }
+        )
 
     return {
         "traceEvents": meta + events,
@@ -156,9 +200,11 @@ def validate_chrome(obj: Any) -> list[str]:
             elif ev.get("name") == "thread_name":
                 named_tids.add((ev.get("pid"), ev.get("tid")))
             continue
-        if ph not in ("X", "i", "B", "E", "C"):
+        if ph not in ("X", "i", "B", "E", "C", "s", "f"):
             errors.append(f"event {i}: unknown phase {ph!r}")
             continue
+        if ph in ("s", "f") and "id" not in ev:
+            errors.append(f"event {i}: flow event without id")
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             errors.append(f"event {i}: bad ts {ts!r}")

@@ -23,7 +23,8 @@ from repro.simmpi.collectives.reduce_ops import block_offsets
 from repro.simmpi.comm import CollectiveResult, SimComm
 from repro.simmpi.reorder import block_placement, round_robin_placement
 from repro.topology.fabric import TaihuLightFabric
-from repro.trace.tracer import Tracer, active, emit_cost_spans, suspended, tracing
+from repro.trace.scaling import active as _scaling
+from repro.trace.tracer import Span, Tracer, active, emit_cost_spans, suspended, tracing
 
 
 def _largest_pow2_leq(p: int) -> int:
@@ -130,16 +131,40 @@ def trace_net_iteration(net, tracer: Tracer | None = None) -> float:
     start = tr.cursor("layers")
     with suspended():
         costs = [(layer, layer.sw_cost()) for layer in net.layers]
+    sc = _scaling()
+    if sc.enabled:
+        # What-if validation: scale each layer's component costs exactly
+        # as the projection does, then let total_s re-derive the
+        # dual-pipeline bound from the scaled components.
+        costs = [
+            (
+                layer,
+                cost.__class__(
+                    sc.scale_plan_cost(cost.forward, layer.name),
+                    sc.scale_plan_cost(cost.backward, layer.name),
+                ),
+            )
+            for layer, cost in costs
+        ]
+    prev = None
     for layer, cost in costs:
-        emit_cost_spans(
+        parent = emit_cost_spans(
             tr, f"{layer.name} fwd", cost.forward,
             cat="layer_fwd", args={"layer_type": layer.type},
         )
+        if parent is not None:
+            if prev is not None:
+                tr.edge(prev, parent)
+            prev = parent
     for layer, cost in reversed(costs):
-        emit_cost_spans(
+        parent = emit_cost_spans(
             tr, f"{layer.name} bwd", cost.backward,
             cat="layer_bwd", args={"layer_type": layer.type},
         )
+        if parent is not None:
+            if prev is not None:
+                tr.edge(prev, parent)
+            prev = parent
     dur = tr.cursor("layers") - start
     tr.emit(
         f"{net.name} iteration",
@@ -210,21 +235,53 @@ def trace_training_step(
     compute_s = 0.0
     allreduce_s = 0.0
     steps = 0
+    first_fwd: dict[tuple[int, int], Span] = {}
+    last_bwd: dict[tuple[int, int], Span] = {}
     with tracing(tr):
         for r in range(ranks):
             with tr.context(f"rank{r}"):
-                for _ in range(iterations):
+                for it in range(iterations):
+                    mark = len(tr.spans)
                     trace_net_iteration(net, tr)
+                    segment = tr.spans[mark:]
+                    fwds = [s for s in segment if s.cat == "layer_fwd"]
+                    bwds = [s for s in segment if s.cat == "layer_bwd"]
+                    if fwds:
+                        first_fwd[(r, it)] = fwds[0]
+                    if bwds:
+                        last_bwd[(r, it)] = bwds[-1]
             compute_s = max(compute_s, tr.cursor(f"/rank{r}/layers"))
         if ranks > 1:
             # One allreduce per iteration, laid out after the compute phase
-            # it synchronizes. Each uses a fresh communicator clock; the
-            # shifted() offset places it on the global timeline.
+            # it synchronizes. Each uses a fresh communicator whose clock
+            # is pre-advanced to the phase's place on the global timeline,
+            # so recorded step times accumulate from the offset exactly as
+            # the critical-path projection chains them.
             per_iter = compute_s / iterations if iterations else 0.0
             for i in range(iterations):
                 comm = SimComm(fabric, placement)
-                with tr.shifted(per_iter * (i + 1) + allreduce_s):
-                    res = replay_rhd(comm, payload)
+                comm.clock.advance(per_iter * (i + 1) + allreduce_s, category="comm")
+                mark = len(tr.spans)
+                res = replay_rhd(comm, payload)
+                step_spans = [
+                    s for s in tr.spans[mark:] if s.cat == "collective_step"
+                ]
+                # Barrier: the first lockstep round waits on every rank's
+                # backward pass of the iteration it synchronizes.
+                for span in step_spans:
+                    if span.name != "step0":
+                        break
+                    for r in range(ranks):
+                        bwd = last_bwd.get((r, i))
+                        if bwd is not None:
+                            tr.edge(bwd, span)
+                # Sync: the next iteration's forward waits on this
+                # allreduce completing (its final round's representative).
+                if step_spans and i + 1 < iterations:
+                    for r in range(ranks):
+                        fwd = first_fwd.get((r, i + 1))
+                        if fwd is not None:
+                            tr.edge(step_spans[-1], fwd)
                 allreduce_s += res.time_s
                 steps += res.steps
     summary = SessionSummary(

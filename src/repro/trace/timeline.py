@@ -11,6 +11,8 @@ share a track).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.trace.tracer import Span, Tracer
 from repro.utils.units import format_time
 
@@ -29,16 +31,22 @@ def render_timeline(
     *,
     max_spans_per_track: int = 40,
     show_args: bool = True,
+    highlight: Iterable[Span] | None = None,
 ) -> str:
     """Render the trace as grouped, chronological text.
 
     Long tracks are truncated to ``max_spans_per_track`` entries with an
     elision marker (traces of full nets run to thousands of spans; the
     text view is for orientation, not completeness).
+
+    ``highlight`` marks the given spans (matched by identity — e.g.
+    :func:`~repro.trace.critpath.path_spans`) with a leading ``*``, the
+    critical-path view of the timeline.
     """
     spans = tracer.spans if isinstance(tracer, Tracer) else list(tracer)
     if not spans:
         return "(empty trace)"
+    marked = {id(s) for s in highlight} if highlight is not None else set()
     by_track: dict[str, list[Span]] = {}
     for s in spans:
         by_track.setdefault(s.track, []).append(s)
@@ -47,19 +55,33 @@ def render_timeline(
         track_spans = sorted(by_track[track], key=lambda s: (s.start_s, -s.dur_s))
         lines.append(f"== {track} ({len(track_spans)} spans) ==")
         shown = track_spans[:max_spans_per_track]
-        open_ends: list[float] = []
+        # Containment-based indentation within the track: a stack of open
+        # (start, end) intervals the current span falls inside.
+        open_spans: list[tuple[float, float]] = []
         for s in shown:
-            # Containment-based indentation within the track.
-            while open_ends and s.start_s >= open_ends[-1] - 1e-15:
-                open_ends.pop()
-            indent = "  " * len(open_ends)
-            if not s.instant:
-                open_ends.append(s.end_s)
+            while open_spans and s.start_s >= open_spans[-1][1] - 1e-15:
+                open_spans.pop()
+            if (
+                open_spans
+                and not s.instant
+                and s.start_s == open_spans[-1][0]
+                and s.end_s == open_spans[-1][1]
+            ):
+                # Identical interval: a concurrent duplicate (lockstep
+                # partners, mirrored resources), not containment — render
+                # as a sibling, not a child.
+                open_spans.pop()
+            indent = "  " * len(open_spans)
+            if not s.instant and s.dur_s > 0:
+                # Zero-duration spans contain nothing; keeping them off the
+                # stack stops followers at the same instant from nesting.
+                open_spans.append((s.start_s, s.end_s))
             stamp = f"[{format_time(s.start_s):>9} +{format_time(s.dur_s):>9}]"
             if s.instant:
                 stamp = f"[{format_time(s.start_s):>9}  (instant)]"
             args = _format_args(s) if show_args else ""
-            lines.append(f"  {stamp} {indent}{s.name} <{s.cat}>{args}")
+            mark = "* " if id(s) in marked else "  "
+            lines.append(f"{mark}{stamp} {indent}{s.name} <{s.cat}>{args}")
         hidden = len(track_spans) - len(shown)
         if hidden > 0:
             lines.append(f"  ... {hidden} more spans")

@@ -26,10 +26,13 @@ arithmetic (pinned by ``tests/test_trace_integration.py``). Enable it with
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
+
+from repro.errors import SpanValidationError
 
 
 #: The span taxonomy. Instrumentation sites use these categories; exporters
@@ -52,7 +55,15 @@ SPAN_CATEGORIES = (
     "request_shed",    # instant: a serving request was shed at the queue bound
     "batch_dispatch",  # instant: the dynamic batcher formed and launched a batch
     "batch_compute",   # a dispatched batch's forward-only execution
+    "collective_service",  # one nonblocking launch's serial-fabric service window
 )
+
+#: Causal-edge kinds accepted by :meth:`Tracer.edge`. ``dep`` means the
+#: destination span cannot start before the source span ends (a scheduling
+#: dependency the critical-path graph walks); ``member`` attaches a
+#: resource-component span to its container (the ``emit_cost_spans``
+#: children), which is containment, not ordering.
+EDGE_KINDS = ("dep", "member")
 
 
 @dataclass(frozen=True)
@@ -112,6 +123,8 @@ class Tracer:
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
+        #: Explicit causal edges ``(src, dst, kind)``; see :meth:`edge`.
+        self.edges: list[tuple[Span, Span, str]] = []
         self._cursors: dict[str, float] = defaultdict(float)
         self._prefix: list[str] = []
         self._offset: float = 0.0
@@ -181,13 +194,23 @@ class Tracer:
         instant: bool = False,
     ) -> Span:
         """Record one span; see the class docstring for start semantics."""
-        if dur < 0:
-            raise ValueError(f"span duration must be >= 0, got {dur!r}")
+        dur = float(dur)
+        # ``not (dur >= 0)`` is True for NaN, which ``dur < 0`` misses.
+        if not (dur >= 0.0) or not math.isfinite(dur):
+            raise SpanValidationError(
+                f"span {name!r} on track {track!r}: duration must be finite "
+                f"and >= 0 (end >= start), got {dur!r}"
+            )
         resolved = self.resolve(track)
         if start is None:
             start_s = self._cursors[resolved]
         else:
             start_s = float(start) + self._offset
+        if not math.isfinite(start_s):
+            raise SpanValidationError(
+                f"span {name!r} on track {track!r}: start must be finite, "
+                f"got {start_s!r}"
+            )
         span = Span(
             name=name,
             cat=cat,
@@ -202,6 +225,23 @@ class Tracer:
         if end > self._cursors[resolved]:
             self._cursors[resolved] = end
         return span
+
+    def edge(self, src: Span, dst: Span, kind: str = "dep") -> None:
+        """Record an explicit causal edge: ``dst`` depends on ``src``.
+
+        Instrumentation sites call this where the dependency is *known*
+        rather than inferable from track layout — a backward pass gating a
+        bucket launch, one collective step feeding the next, a request
+        joining a batch. ``kind="dep"`` is a scheduling dependency (the
+        critical-path walk follows it; the Chrome export renders it as a
+        flow arrow); ``kind="member"`` attaches an ``emit_cost_spans``
+        component to its container span.
+        """
+        if kind not in EDGE_KINDS:
+            raise SpanValidationError(
+                f"edge kind must be one of {EDGE_KINDS}, got {kind!r}"
+            )
+        self.edges.append((src, dst, kind))
 
     def instant_event(
         self,
@@ -276,6 +316,9 @@ class NullTracer(Tracer):
     def emit(self, name: str, cat: str, **kwargs: Any) -> Span:  # type: ignore[override]
         raise RuntimeError("NullTracer.emit called; guard instrumentation with `if tracer.enabled`")
 
+    def edge(self, src: Span, dst: Span, kind: str = "dep") -> None:  # type: ignore[override]
+        raise RuntimeError("NullTracer.edge called; guard instrumentation with `if tracer.enabled`")
+
     @contextmanager
     def context(self, prefix: str) -> Iterator[None]:
         yield
@@ -326,7 +369,7 @@ def emit_cost_spans(
     )
     for comp_track, comp_cat, dur, extra in components:
         if dur > 0:
-            tracer.emit(
+            comp = tracer.emit(
                 name,
                 comp_cat,
                 track=comp_track,
@@ -334,6 +377,7 @@ def emit_cost_spans(
                 dur=dur,
                 args={"of": cat, **extra},
             )
+            tracer.edge(comp, parent, kind="member")
     return parent
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro import trace
+from repro.errors import SpanValidationError
 from repro.trace.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -226,5 +227,115 @@ class TestCostSpans:
 
     def test_package_reexports(self):
         for name in ("Tracer", "tracing", "write_chrome_json", "render_timeline",
-                     "render_attribution", "trace_training_step", "replay_rhd"):
+                     "render_attribution", "trace_training_step", "replay_rhd",
+                     "build_graph", "critical_path", "render_critpath",
+                     "parse_scales", "whatif_training", "scaling"):
             assert hasattr(trace, name)
+
+
+class TestSpanValidation:
+    """Spans are validated at record time with a typed error."""
+
+    def test_nan_duration_rejected(self, tr):
+        with pytest.raises(SpanValidationError):
+            tr.emit("bad", "cpe_compute", dur=float("nan"))
+
+    def test_infinite_duration_rejected(self, tr):
+        with pytest.raises(SpanValidationError):
+            tr.emit("bad", "cpe_compute", dur=float("inf"))
+
+    def test_nan_start_rejected(self, tr):
+        with pytest.raises(SpanValidationError):
+            tr.emit("bad", "cpe_compute", start=float("nan"), dur=1.0)
+
+    def test_end_before_start_rejected_as_value_error_too(self, tr):
+        """SpanValidationError subclasses ValueError (compat with callers
+        that catch the generic type)."""
+        with pytest.raises(ValueError):
+            tr.emit("bad", "cpe_compute", dur=-0.5)
+        assert issubclass(SpanValidationError, ValueError)
+
+    def test_rejected_span_is_not_recorded(self, tr):
+        with pytest.raises(SpanValidationError):
+            tr.emit("bad", "cpe_compute", dur=float("nan"))
+        assert len(tr.spans) == 0
+
+
+class TestEdges:
+    def test_edge_records_in_order(self, tr):
+        a = tr.emit("a", "cpe_compute", track="cpe", dur=1.0)
+        b = tr.emit("b", "collective_step", track="coll", start=1.0, dur=1.0)
+        tr.edge(a, b)
+        assert tr.edges == [(a, b, "dep")]
+
+    def test_bad_edge_kind_rejected(self, tr):
+        a = tr.emit("a", "cpe_compute", track="cpe", dur=1.0)
+        b = tr.emit("b", "cpe_compute", track="cpe", dur=1.0)
+        with pytest.raises(SpanValidationError):
+            tr.edge(a, b, kind="follows")
+
+    def test_null_tracer_edge_raises(self, tr):
+        a = tr.emit("a", "cpe_compute", track="cpe", dur=1.0)
+        b = tr.emit("b", "cpe_compute", track="cpe", dur=1.0)
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.edge(a, b)
+
+    def test_cost_span_components_attach_as_members(self, tr):
+        class Cost:
+            compute_s = 3.0
+            dma_s = 2.0
+            rlc_s = 0.0
+            overhead_s = 0.5
+            total_s = 3.5
+            flops = 1000
+            dma_bytes = 4096
+
+        parent = emit_cost_spans(tr, "conv1", Cost(), cat="layer_fwd")
+        kinds = {(s.name, d.name, k) for s, d, k in tr.edges}
+        assert ("conv1", "conv1", "member") in kinds
+        assert all(k == "member" and d is parent for _, d, k in tr.edges)
+
+
+class TestTimelineEdgeCases:
+    """Zero-duration and fully-overlapping spans on one track."""
+
+    def test_zero_duration_span_does_not_nest_followers(self, tr):
+        from repro.trace.timeline import render_timeline
+
+        tr.emit("zero", "layer_fwd", track="layers", start=1.0, dur=0.0)
+        tr.emit("after", "layer_fwd", track="layers", start=1.0, dur=2.0)
+        lines = render_timeline(tr).splitlines()
+        after = next(l for l in lines if "after" in l)
+        # "after" renders un-indented: a zero-duration span contains nothing.
+        assert "] after" in after
+
+    def test_identical_intervals_render_as_siblings(self, tr):
+        from repro.trace.timeline import render_timeline
+
+        tr.emit("first", "collective_step", track="coll", start=0.0, dur=2.0)
+        tr.emit("twin", "collective_step", track="coll", start=0.0, dur=2.0)
+        lines = render_timeline(tr).splitlines()
+        twin = next(l for l in lines if "twin" in l)
+        first = next(l for l in lines if "first" in l)
+        # Same indentation: a concurrent duplicate, not containment.
+        assert twin.index("twin") == first.index("first")
+
+    def test_containment_still_indents(self, tr):
+        from repro.trace.timeline import render_timeline
+
+        tr.emit("outer", "layer_fwd", track="layers", start=0.0, dur=4.0)
+        tr.emit("inner", "cpe_compute", track="layers", start=1.0, dur=1.0)
+        lines = render_timeline(tr).splitlines()
+        inner = next(l for l in lines if "inner" in l)
+        assert "]   inner" in inner
+
+    def test_highlight_marks_on_path_spans(self, tr):
+        from repro.trace.timeline import render_timeline
+
+        a = tr.emit("a", "cpe_compute", track="cpe", dur=1.0)
+        tr.emit("b", "cpe_compute", track="cpe", dur=1.0)
+        lines = render_timeline(tr, highlight=[a]).splitlines()
+        line_a = next(l for l in lines if "] a <" in l)
+        line_b = next(l for l in lines if "] b <" in l)
+        assert line_a.startswith("* ")
+        assert line_b.startswith("  ")
