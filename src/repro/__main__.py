@@ -36,6 +36,11 @@ serve NET [options]
     engine: dynamic batching, per-request latency percentiles, SLO
     attainment, and a Perfetto-loadable serving trace
     (see docs/serving.md).
+pipeline NET [options]
+    Partition a net into balanced pipeline stages, walk a microbatch
+    schedule (GPipe fill-drain or 1F1B), and compare the priced
+    iteration against data-parallel SGD at the same node count
+    (see docs/parallelism.md).
 train [ITERS]
     Run the LeNet quickstart training loop.
 list
@@ -68,6 +73,7 @@ EXPERIMENTS = {
     "allreduce-sweep": "repro.harness.allreduce_sweep",
     "roofline": "repro.harness.roofline_report",
     "serving": "repro.harness.serving_latency",
+    "pipeline": "repro.harness.pipeline_compare",
 }
 
 #: Network name -> (builder path, default batch).
@@ -520,6 +526,136 @@ def cmd_serve(args: list[str]) -> int:
     return 0
 
 
+def cmd_pipeline(args: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro pipeline",
+        description=(
+            "Partition a net into balanced pipeline stages, walk a "
+            "microbatch schedule, and compare the priced iteration "
+            "against data-parallel SGD at the same node count."
+        ),
+    )
+    parser.add_argument("net", choices=sorted(NETWORKS), help="model-zoo network")
+    parser.add_argument("--stages", type=int, default=4, help="pipeline stages S")
+    parser.add_argument(
+        "--microbatches", type=int, default=8, help="microbatches per iteration M"
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="data-parallel replicas per stage (hybrid mode when > 1)",
+    )
+    parser.add_argument(
+        "--schedule", choices=("1f1b", "fill_drain"), default="1f1b",
+        help="microbatch schedule",
+    )
+    parser.add_argument(
+        "--method", choices=("dp", "greedy"), default="dp",
+        help="stage partitioner",
+    )
+    parser.add_argument("--batch", type=int, default=None, help="sub-mini-batch size")
+    parser.add_argument(
+        "--bucket-mb", type=float, default=32.0,
+        help="hybrid per-stage-group allreduce bucket bound (MB)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export the walked schedule as Chrome trace-event JSON",
+    )
+    ns = parser.parse_args(args)
+    if ns.stages < 1:
+        print(f"error: --stages must be >= 1, got {ns.stages}", file=sys.stderr)
+        return 2
+    if ns.microbatches < 1:
+        print(
+            f"error: --microbatches must be >= 1, got {ns.microbatches}",
+            file=sys.stderr,
+        )
+        return 2
+    if ns.replicas < 1:
+        print(f"error: --replicas must be >= 1, got {ns.replicas}", file=sys.stderr)
+        return 2
+
+    from repro.parallel.ssgd import SSGDIterationModel
+    from repro.perf.layer_cost import net_iteration_time
+    from repro.pipeline import PipelineIterationModel, plan_stages
+    from repro.utils.units import format_bytes, format_time
+
+    builder, default_batch = _load_builder(ns.net)
+    net = builder(batch_size=ns.batch if ns.batch is not None else default_batch)
+    if ns.stages > len(net.layers):
+        print(
+            f"error: --stages {ns.stages} exceeds {ns.net}'s "
+            f"{len(net.layers)} layers",
+            file=sys.stderr,
+        )
+        return 2
+    plan = plan_stages(net, ns.stages, method=ns.method)
+    model = PipelineIterationModel(
+        plan,
+        n_microbatches=ns.microbatches,
+        schedule=ns.schedule,
+        replicas=ns.replicas,
+        bucket_mb=ns.bucket_mb,
+    )
+    bd = model.breakdown()
+    n = model.n_nodes
+    print(
+        f"{ns.net}: {ns.stages} stage(s) x {ns.replicas} replica(s) = "
+        f"{n} node(s), {ns.microbatches} microbatch(es), {ns.schedule} "
+        f"({ns.method} partition)"
+    )
+    print(f"  stage imbalance {100 * plan.stage_imbalance:.1f}% (max/mean - 1)")
+    for s in range(plan.n_stages):
+        layers = ", ".join(
+            net.layers[i].name for i in plan.layer_range(s)
+        )
+        print(
+            f"  stage {s}: {format_time(plan.stage_cost_s[s])} "
+            f"[{layers}]"
+        )
+    for i, (blobs, nbytes) in enumerate(zip(plan.cut_blobs, plan.cut_bytes)):
+        print(
+            f"  cut {i}->{i + 1}: {format_bytes(nbytes)} "
+            f"({', '.join(blobs)})"
+        )
+    print(
+        f"  pipeline {format_time(bd.pipeline_s)} "
+        f"(bubble {100 * bd.bubble_frac:.1f}%), allreduce exposed "
+        f"{format_time(bd.allreduce_s)} / hidden "
+        f"{format_time(bd.allreduce_hidden_s)}, update "
+        f"{format_time(bd.update_s)}"
+    )
+    print(
+        f"  iteration {format_time(bd.total_s)}, exposed comm "
+        f"{100 * bd.comm_fraction:.1f}%"
+    )
+    dp = SSGDIterationModel(
+        compute_s=net_iteration_time(net, "sw26010"),
+        model_bytes=net.param_bytes(),
+        bucket_mb=ns.bucket_mb,
+    )
+    dp_bd = dp.breakdown(n)
+    print(
+        f"  DP reference at {n} node(s): {format_time(dp_bd.total_s)}, "
+        f"exposed comm {100 * dp_bd.comm_fraction:.1f}%"
+    )
+    if ns.trace:
+        from repro.pipeline import emit_pipeline_trace
+        from repro.trace.export import write_chrome_json
+        from repro.trace.tracer import Tracer
+
+        tracer = Tracer()
+        emit_pipeline_trace(tracer, model.timeline())
+        write_chrome_json(tracer, ns.trace)
+        print(
+            f"wrote {len(tracer.spans)} spans to {ns.trace} "
+            "(load in ui.perfetto.dev)"
+        )
+    return 0
+
+
 def cmd_train(args: list[str]) -> int:
     from repro.frame.model_zoo import lenet
     from repro.frame.solver import SGDSolver
@@ -641,6 +777,19 @@ REGISTRY: dict[str, Command] = {
                 "the batched-inference engine: latency",
                 "percentiles, SLO attainment, Perfetto",
                 "trace (docs/serving.md)",
+            ),
+        ),
+        Command(
+            "pipeline", cmd_pipeline,
+            (
+                "pipeline NET [--stages S] [--microbatches M] [--replicas R]",
+                "[--schedule 1f1b|fill_drain] [--method dp|greedy]",
+                "[--batch B] [--bucket-mb MB] [--trace FILE]",
+            ),
+            (
+                "partition into balanced stages, walk a",
+                "microbatch schedule, and compare against",
+                "data-parallel SGD (docs/parallelism.md)",
             ),
         ),
         Command(

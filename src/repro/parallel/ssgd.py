@@ -19,9 +19,8 @@ import math
 from dataclasses import dataclass, field
 
 from repro.io.prefetch import PrefetchPipeline
+from repro.parallel.comm_cost import allreduce_cost
 from repro.parallel.threads import MultiCGRunner
-from repro.simmpi.collectives.analysis import stepwise_rhd_cost
-from repro.simmpi.comm import reduce_gamma
 from repro.topology.cost_model import NetworkModel, SW_COLLECTIVE_NETWORK
 from repro.topology.supernode import NODES_PER_SUPERNODE
 
@@ -172,13 +171,12 @@ class SSGDIterationModel:
         return tuple([self.model_bytes / k] * k)
 
     def _single_allreduce_time(self, nbytes: float, n_nodes: int) -> float:
-        gamma = reduce_gamma(self.reduce_engine)
-        return stepwise_rhd_cost(
+        return allreduce_cost(
             nbytes,
             n_nodes,
-            self.nodes_per_supernode,
-            self.network,
-            gamma,
+            nodes_per_supernode=self.nodes_per_supernode,
+            network=self.network,
+            reduce_engine=self.reduce_engine,
             placement=self.placement,
         )
 

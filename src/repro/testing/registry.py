@@ -50,6 +50,7 @@ from repro.simmpi.collectives.ring import ring_allreduce
 from repro.simmpi.collectives.topo_aware import topo_aware_allreduce
 from repro.simmpi.collectives.tuned import tuned_allreduce
 from repro.simmpi.comm import CollectiveResult, SimComm
+from repro.simmpi.p2p import p2p_shift
 from repro.simmpi.reorder import block_placement
 from repro.testing import references as ref
 from repro.topology.cost_model import LinearCostModel
@@ -732,6 +733,27 @@ register_collective(
         execute=_reduce_scatter_execute,
         reference=_reduce_scatter_reference,
         ranks=(1, 2, 4, 8, 16),  # recursive halving needs power-of-two ranks
+        reduce_ops=(False,),
+    )
+)
+
+
+def _p2p_shift_execute(comm, inputs, cfg):
+    bufs = [b.copy() for b in inputs]
+    result = p2p_shift(comm, bufs)
+    return bufs, result
+
+
+def _p2p_shift_reference(inputs, cfg):
+    p = len(inputs)
+    return [np.asarray(inputs[(dst - 1) % p], dtype=np.float64).copy() for dst in range(p)]
+
+
+register_collective(
+    CollectiveSpec(
+        name="p2p_shift",
+        execute=_p2p_shift_execute,
+        reference=_p2p_shift_reference,
         reduce_ops=(False,),
     )
 )

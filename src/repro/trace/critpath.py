@@ -53,13 +53,23 @@ RESOURCE_CLASS = {
     "collective_service": "collective",
     "batch_compute": "batch",
     "fault_retry": "fault",
+    "p2p_transfer": "p2p",
+    "activation_xfer": "p2p",
+    "stage_fwd": "stage",
+    "stage_bwd": "stage",
 }
 
 #: Containers whose duration derives from member components + overhead.
 CONTAINER_CATS = ("layer_fwd", "layer_bwd", "plan_cost")
 
 #: Decoration-only categories: never scheduled as graph nodes.
-EXCLUDED_CATS = ("solver_iter", "overlap_window", "batch_dispatch", "request_shed")
+EXCLUDED_CATS = (
+    "solver_iter",
+    "overlap_window",
+    "batch_dispatch",
+    "request_shed",
+    "pipeline_bubble",
+)
 
 #: Tolerance for inferring same-track ordering from recorded geometry.
 _CHAIN_EPS = 1e-12

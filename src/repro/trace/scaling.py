@@ -34,7 +34,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Mapping
 
 #: The resource classes a what-if factor may target (besides ``layer:*``).
-SCALE_CLASSES = ("cpe", "dma", "rlc", "overhead", "collective", "batch")
+SCALE_CLASSES = ("cpe", "dma", "rlc", "overhead", "collective", "batch", "p2p", "stage")
 
 
 class CostScaling:

@@ -56,6 +56,11 @@ SPAN_CATEGORIES = (
     "batch_dispatch",  # instant: the dynamic batcher formed and launched a batch
     "batch_compute",   # a dispatched batch's forward-only execution
     "collective_service",  # one nonblocking launch's serial-fabric service window
+    "p2p_transfer",    # one point-to-point message between two ranks
+    "stage_fwd",       # one pipeline stage's forward pass of one microbatch
+    "stage_bwd",       # one pipeline stage's backward pass of one microbatch
+    "activation_xfer",  # boundary activation/gradient transfer between stages
+    "pipeline_bubble",  # idle time on a pipeline stage (fill/drain/stall)
 )
 
 #: Causal-edge kinds accepted by :meth:`Tracer.edge`. ``dep`` means the

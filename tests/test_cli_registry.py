@@ -45,6 +45,63 @@ class TestHelpEqualsRegistry:
         assert capsys.readouterr().out == _usage() + "\n"
 
 
+class TestPipelineCommand:
+    def test_pipeline_is_registered(self):
+        assert "pipeline" in REGISTRY
+        assert "pipeline" in help_commands()
+
+    def test_generated_help_pins_the_usage(self):
+        """The pipeline usage lines are registry-generated; pin them so
+        the help cannot drift from the parser."""
+        cmd = REGISTRY["pipeline"]
+        assert cmd.usage[0] == (
+            "pipeline NET [--stages S] [--microbatches M] [--replicas R]"
+        )
+        for fragment in ("--schedule", "--method", "--batch", "--bucket-mb",
+                         "--trace"):
+            assert any(fragment in line for line in cmd.usage)
+        assert "docs/parallelism.md" in " ".join(cmd.help)
+        usage_text = _usage()
+        for line in cmd.usage:
+            assert line in usage_text
+
+    @pytest.mark.parametrize(
+        "flag,value", [("--stages", "0"), ("--stages", "-2"),
+                       ("--microbatches", "0"), ("--microbatches", "-3"),
+                       ("--replicas", "0")]
+    )
+    def test_invalid_counts_exit_2(self, capsys, flag, value):
+        assert main(["pipeline", "lenet", flag, value]) == 2
+        assert flag.lstrip("-") in capsys.readouterr().err
+
+    def test_too_many_stages_exits_2(self, capsys):
+        assert main(["pipeline", "lenet", "--stages", "999"]) == 2
+        assert "stages" in capsys.readouterr().err
+
+    def test_unknown_net_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["pipeline", "nosuchnet"])
+        assert exc.value.code == 2
+
+    def test_runs_and_reports_on_lenet(self, capsys):
+        assert main(["pipeline", "lenet", "--stages", "2",
+                     "--microbatches", "4", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "bubble" in out
+        assert "stage" in out
+
+    def test_trace_export_is_valid_chrome(self, tmp_path, capsys):
+        import json
+
+        from repro.trace import validate_chrome
+
+        path = tmp_path / "pipe.json"
+        assert main(["pipeline", "lenet", "--stages", "2",
+                     "--microbatches", "2", "--batch", "4",
+                     "--trace", str(path)]) == 0
+        assert validate_chrome(json.loads(path.read_text())) == []
+
+
 class TestServeArgs:
     def test_malformed_arrival_seed_exits_2(self, capsys):
         assert main(["serve", "lenet", "--arrivals", "nope"]) == 2

@@ -1,0 +1,160 @@
+"""Microbatch-schedule walker tests (:mod:`repro.pipeline.schedule`).
+
+Pins the schedule definitions (fill-drain op order, 1F1B warmup depths),
+the walk rules (stage serialism, transfer dependencies, per-direction
+link serialism), the exact GPipe bubble fraction on uniform stages, the
+metric gauges, the what-if scaling hooks, and the validation/deadlock
+guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import MetricsRegistry, collecting
+from repro.pipeline import simulate_pipeline, stage_orders
+from repro.trace.scaling import CostScaling, scaling
+
+
+class TestStageOrders:
+    def test_fill_drain_runs_forwards_then_reversed_backwards(self):
+        orders = stage_orders("fill_drain", 2, 3)
+        for ops in orders:
+            assert ops == [("F", 0), ("F", 1), ("F", 2),
+                           ("B", 2), ("B", 1), ("B", 0)]
+
+    def test_1f1b_warmup_depth_depends_on_stage(self):
+        orders = stage_orders("1f1b", 3, 4)
+        # Last stage: no warmup, strict alternation.
+        assert orders[2] == [("F", 0), ("B", 0), ("F", 1), ("B", 1),
+                             ("F", 2), ("B", 2), ("F", 3), ("B", 3)]
+        # First stage: S - 1 = 2 warmup forwards.
+        assert orders[0][:2] == [("F", 0), ("F", 1)]
+        assert orders[0][2:4] == [("F", 2), ("B", 0)]
+
+    @pytest.mark.parametrize("schedule", ["fill_drain", "1f1b"])
+    @pytest.mark.parametrize("S,M", [(1, 1), (2, 4), (4, 2), (5, 8)])
+    def test_every_microbatch_runs_once_each_way(self, schedule, S, M):
+        for ops in stage_orders(schedule, S, M):
+            assert sorted(m for k, m in ops if k == "F") == list(range(M))
+            assert sorted(m for k, m in ops if k == "B") == list(range(M))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            stage_orders("zigzag", 2, 2)
+        with pytest.raises(ValueError):
+            stage_orders("1f1b", 0, 2)
+        with pytest.raises(ValueError):
+            stage_orders("1f1b", 2, 0)
+
+
+class TestWalk:
+    def test_gpipe_bubble_formula_uniform_stages(self):
+        S, M = 4, 8
+        t = simulate_pipeline([1.0] * S, [1.0] * S, n_microbatches=M,
+                              schedule="fill_drain")
+        assert t.bubble_frac == (S - 1) / (M + S - 1)
+        assert t.makespan_s == 2.0 * (M + S - 1)
+
+    def test_1f1b_matches_fill_drain_makespan_on_uniform_stages(self):
+        kw = dict(n_microbatches=8)
+        fd = simulate_pipeline([1.0] * 4, [1.0] * 4, schedule="fill_drain", **kw)
+        ob = simulate_pipeline([1.0] * 4, [1.0] * 4, schedule="1f1b", **kw)
+        assert ob.makespan_s == fd.makespan_s
+        assert ob.bubble_frac == fd.bubble_frac
+
+    def test_single_stage_has_no_bubble(self):
+        t = simulate_pipeline([2.0], [3.0], n_microbatches=5)
+        assert t.bubble_frac == 0.0
+        assert t.makespan_s == 25.0
+        assert t.xfers == ()
+
+    def test_stage_ops_never_overlap(self):
+        t = simulate_pipeline([0.7, 1.3, 0.4], [1.1, 0.6, 0.9],
+                              n_microbatches=6, schedule="1f1b")
+        for s in range(t.n_stages):
+            ops = sorted((o for o in t.ops if o.stage == s),
+                         key=lambda o: o.start_s)
+            for a, b in zip(ops, ops[1:]):
+                assert b.start_s >= a.end_s
+
+    def test_forward_waits_for_upstream_transfer(self):
+        t = simulate_pipeline([1.0, 1.0], [1.0, 1.0], n_microbatches=2,
+                              fwd_xfer_s=[0.5], bwd_xfer_s=[0.5],
+                              schedule="fill_drain")
+        for op in t.ops:
+            if op.kind == "F" and op.stage == 1:
+                (x,) = [x for x in t.xfers
+                        if x.kind == "fwd" and x.microbatch == op.microbatch]
+                assert op.start_s >= x.end_s
+
+    def test_backward_waits_for_downstream_gradient(self):
+        t = simulate_pipeline([1.0, 1.0], [1.0, 1.0], n_microbatches=2,
+                              fwd_xfer_s=[0.25], bwd_xfer_s=[0.25])
+        for op in t.ops:
+            if op.kind == "B" and op.stage == 0:
+                (x,) = [x for x in t.xfers
+                        if x.kind == "bwd" and x.microbatch == op.microbatch]
+                assert op.start_s >= x.end_s
+
+    def test_links_are_serial_per_direction(self):
+        t = simulate_pipeline([0.1, 2.0], [0.1, 2.0], n_microbatches=4,
+                              fwd_xfer_s=[1.0], bwd_xfer_s=[1.0],
+                              schedule="fill_drain")
+        for kind in ("fwd", "bwd"):
+            xs = sorted((x for x in t.xfers if x.kind == kind),
+                        key=lambda x: x.start_s)
+            for a, b in zip(xs, xs[1:]):
+                assert b.start_s >= a.end_s
+            # The fast producer outruns the slow link: some transfers queue.
+            if kind == "fwd":
+                assert any(x.start_s > x.ready_s for x in xs)
+
+    def test_transfers_start_at_producer_end_when_link_is_free(self):
+        t = simulate_pipeline([1.0, 1.0], [1.0, 1.0], n_microbatches=1,
+                              fwd_xfer_s=[0.5], bwd_xfer_s=[0.5])
+        for x in t.xfers:
+            assert x.start_s == x.ready_s
+
+    def test_stage_gaps_partition_the_makespan(self):
+        t = simulate_pipeline([1.0, 2.0, 0.5], [1.5, 1.0, 2.0],
+                              n_microbatches=4, schedule="1f1b")
+        for s in range(t.n_stages):
+            gap = sum(d for _, d in t.stage_gaps(s))
+            assert gap + t.stage_busy_s[s] == pytest.approx(t.makespan_s)
+
+
+class TestValidationAndMetrics:
+    def test_mismatched_stage_arrays_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            simulate_pipeline([1.0, 1.0], [1.0], n_microbatches=1)
+
+    def test_wrong_boundary_array_length_rejected(self):
+        with pytest.raises(ValueError, match="boundary arrays"):
+            simulate_pipeline([1.0, 1.0], [1.0, 1.0], n_microbatches=1,
+                              fwd_xfer_s=[0.1, 0.2])
+
+    def test_gauges_emitted_under_collection(self):
+        reg = MetricsRegistry()
+        with collecting(reg):
+            t = simulate_pipeline([1.0] * 2, [1.0] * 2, n_microbatches=4)
+        assert reg.value("pipeline.bubble_frac") == t.bubble_frac
+        assert reg.value("pipeline.makespan_s") == t.makespan_s
+
+
+class TestScalingHooks:
+    def test_stage_factor_scales_compute(self):
+        base = simulate_pipeline([1.0] * 3, [1.0] * 3, n_microbatches=4)
+        with scaling(CostScaling({"stage": 2.0})):
+            doubled = simulate_pipeline([1.0] * 3, [1.0] * 3, n_microbatches=4)
+        assert doubled.makespan_s == pytest.approx(2.0 * base.makespan_s)
+        assert doubled.bubble_frac == pytest.approx(base.bubble_frac)
+
+    def test_p2p_factor_scales_transfers_only(self):
+        kw = dict(n_microbatches=2, fwd_xfer_s=[1.0], bwd_xfer_s=[1.0])
+        base = simulate_pipeline([1.0, 1.0], [1.0, 1.0], **kw)
+        with scaling(CostScaling({"p2p": 10.0})):
+            slow = simulate_pipeline([1.0, 1.0], [1.0, 1.0], **kw)
+        assert slow.makespan_s > base.makespan_s
+        assert all(x.dur_s == 10.0 for x in slow.xfers)
+        assert all(o.dur_s == 1.0 for o in slow.ops)

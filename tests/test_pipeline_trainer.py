@@ -1,0 +1,239 @@
+"""Pipeline trainer bit-identity (:mod:`repro.pipeline.trainer`).
+
+The defining invariant: pipelined training — stage-sliced layer ops with
+boundary tensors really crossing the priced p2p transport — produces
+weights *bit-identical* to single-rank ``SGDSolver(iter_size=M)``
+gradient accumulation, for every schedule and stage count. The mutation
+test proves the transport is load-bearing: corrupting what ``recv``
+returns corrupts training.
+
+Tier-1 runs LeNet's full (S, M, schedule) grid plus reduced AlexNet/VGG
+configs; set ``REPRO_HEAVY=1`` to sweep the acceptance grid
+(LeNet/AlexNet/VGG × S ∈ {2, 4} × M ∈ {1, 4, 8} × both schedules).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.frame.model_zoo import alexnet, lenet, vgg
+from repro.frame.solver import SGDSolver
+from repro.pipeline import PipelineTrainer
+
+HEAVY = bool(int(os.environ.get("REPRO_HEAVY", "0") or "0"))
+
+SOLVER_KW = dict(base_lr=0.05, momentum=0.9, weight_decay=1e-4)
+
+
+def lenet_factory(rank: int = 0):
+    return lenet.build(batch_size=4, rng=np.random.default_rng(21))
+
+
+def alexnet_factory(rank: int = 0):
+    return alexnet.build(batch_size=1, num_classes=10,
+                         rng=np.random.default_rng(22))
+
+
+def vgg_factory(rank: int = 0):
+    return vgg.build_vgg16(batch_size=1, num_classes=10,
+                           rng=np.random.default_rng(23))
+
+
+_REFERENCE_CACHE: dict = {}
+
+
+def reference_weights(factory, n_microbatches, n_iters):
+    """Single-rank gradient accumulation: the ground truth (cached — the
+    same (factory, M, iters) reference serves several pipeline configs)."""
+    key = (factory, n_microbatches, n_iters)
+    if key not in _REFERENCE_CACHE:
+        net = factory(0)
+        solver = SGDSolver(net, iter_size=n_microbatches, **SOLVER_KW)
+        solver.step(n_iters)
+        _REFERENCE_CACHE[key] = [p.data.copy() for p in net.params]
+    return _REFERENCE_CACHE[key]
+
+
+def pipeline_weights(factory, n_stages, n_microbatches, schedule, n_iters,
+                     replicas=1):
+    trainer = PipelineTrainer(
+        factory,
+        n_stages,
+        n_microbatches=n_microbatches,
+        schedule=schedule,
+        replicas=replicas,
+        **SOLVER_KW,
+    )
+    stats = trainer.step(n_iters)
+    return [p.data.copy() for p in trainer.nets[0].params], trainer, stats
+
+
+def assert_bitwise_equal(got, want, context=""):
+    assert len(got) == len(want)
+    for i, (g, w) in enumerate(zip(got, want)):
+        assert g.dtype == w.dtype
+        assert np.array_equal(g, w), f"param {i} diverges {context}"
+
+
+# --------------------------------------------------------------------------- #
+# bit-identity grids
+# --------------------------------------------------------------------------- #
+LENET_GRID = [
+    (s, m, sched)
+    for s in (2, 4)
+    for m in (1, 4, 8)
+    for sched in ("fill_drain", "1f1b")
+]
+
+
+class TestLeNetIdentity:
+    @pytest.mark.parametrize("n_stages,n_microbatches,schedule", LENET_GRID)
+    def test_matches_single_rank_accumulation(
+        self, n_stages, n_microbatches, schedule
+    ):
+        want = reference_weights(lenet_factory, n_microbatches, n_iters=2)
+        got, _, _ = pipeline_weights(
+            lenet_factory, n_stages, n_microbatches, schedule, n_iters=2
+        )
+        assert_bitwise_equal(
+            got, want, f"(S={n_stages}, M={n_microbatches}, {schedule})"
+        )
+
+    def test_schedules_agree_bitwise(self):
+        a, _, _ = pipeline_weights(lenet_factory, 3, 4, "fill_drain", 2)
+        b, _, _ = pipeline_weights(lenet_factory, 3, 4, "1f1b", 2)
+        assert_bitwise_equal(a, b, "(fill_drain vs 1f1b)")
+
+
+HEAVY_GRID = [
+    (factory, s, m, sched)
+    for factory in (alexnet_factory, vgg_factory)
+    for s in (2, 4)
+    for m in (1, 4, 8)
+    for sched in ("fill_drain", "1f1b")
+]
+
+#: Tier-1 keeps one AlexNet config; VGG rides only the heavy sweep (its
+#: single cheapest config still costs ~a minute of dense conv math).
+REDUCED_GRID = [
+    (alexnet_factory, 2, 2, "1f1b"),
+    (alexnet_factory, 4, 2, "fill_drain"),
+]
+
+
+class TestBigNetIdentity:
+    @pytest.mark.parametrize(
+        "factory,n_stages,n_microbatches,schedule",
+        HEAVY_GRID if HEAVY else REDUCED_GRID,
+    )
+    def test_matches_single_rank_accumulation(
+        self, factory, n_stages, n_microbatches, schedule
+    ):
+        want = reference_weights(factory, n_microbatches, n_iters=1)
+        got, _, _ = pipeline_weights(
+            factory, n_stages, n_microbatches, schedule, n_iters=1
+        )
+        assert_bitwise_equal(
+            got, want, f"(S={n_stages}, M={n_microbatches}, {schedule})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# hybrid
+# --------------------------------------------------------------------------- #
+def hybrid_reference(factory, replicas, n_microbatches, n_iters):
+    """Hand-rolled replica averaging: per-replica accumulation, float64
+    mean of the diffs, identical updates — the hybrid ground truth."""
+    nets = [factory(r) for r in range(replicas)]
+    solvers = [
+        SGDSolver(net, iter_size=n_microbatches, **SOLVER_KW) for net in nets
+    ]
+    for _ in range(n_iters):
+        for net in nets:
+            net.zero_param_diffs()
+            for _m in range(n_microbatches):
+                net.forward()
+                net.backward()
+            if n_microbatches > 1:
+                for p in net.params:
+                    p.diff = p.diff / n_microbatches
+        for ps in zip(*(net.params for net in nets)):
+            avg = sum(p.diff.astype(np.float64) for p in ps) / replicas
+            for p in ps:
+                p.diff = avg.astype(p.dtype)
+        for solver in solvers:
+            solver.apply_update(solver.learning_rate())
+            solver.iter += 1
+    return [p.data.copy() for p in nets[0].params]
+
+
+class TestHybrid:
+    def test_matches_averaged_reference_bitwise(self):
+        want = hybrid_reference(lenet_factory, replicas=2,
+                                n_microbatches=2, n_iters=2)
+        got, trainer, stats = pipeline_weights(
+            lenet_factory, 2, 2, "1f1b", 2, replicas=2
+        )
+        assert_bitwise_equal(got, want, "(hybrid R=2)")
+        # Both replicas hold the same synchronized weights.
+        for p0, p1 in zip(trainer.nets[0].params, trainer.nets[1].params):
+            assert np.array_equal(p0.data, p1.data)
+        assert stats.comm_time_s > 0.0
+
+    def test_pure_pipeline_has_no_group_comm(self):
+        trainer = PipelineTrainer(lenet_factory, 2, n_microbatches=2)
+        assert trainer.group_comm is None
+
+
+# --------------------------------------------------------------------------- #
+# the transport is load-bearing
+# --------------------------------------------------------------------------- #
+class TestTransportMutation:
+    def test_lossy_recv_corrupts_training(self):
+        """Zeroing what crosses the boundary must diverge the weights —
+        if it doesn't, the 'transported' tensors were never used."""
+        want = reference_weights(lenet_factory, 2, n_iters=1)
+        trainer = PipelineTrainer(
+            lenet_factory, 2, n_microbatches=2, **SOLVER_KW
+        )
+        real_recv = trainer.transport.recv
+
+        def lossy_recv(src, dst, *, tag=""):
+            return np.zeros_like(real_recv(src, dst, tag=tag))
+
+        trainer.transport.recv = lossy_recv
+        trainer.step(1)
+        got = [p.data.copy() for p in trainer.nets[0].params]
+        assert any(
+            not np.array_equal(g, w) for g, w in zip(got, want)
+        ), "zeroed transport did not change training: transport is dead code"
+
+
+# --------------------------------------------------------------------------- #
+# bookkeeping
+# --------------------------------------------------------------------------- #
+class TestStatsAndValidation:
+    def test_stats_accounting(self):
+        _, trainer, stats = pipeline_weights(lenet_factory, 2, 4, "1f1b", 3)
+        assert stats.iterations == 3
+        assert len(stats.bubble_fracs) == 3
+        assert stats.pipeline_time_s > 0.0
+        assert stats.comm_time_s > 0.0  # boundary transfers are priced
+        assert all(0.0 <= f < 1.0 for f in stats.bubble_fracs)
+        assert trainer.n_nodes == 2
+
+    def test_losses_match_reference_solver(self):
+        net = lenet_factory(0)
+        solver = SGDSolver(net, iter_size=4, **SOLVER_KW)
+        ref = solver.step(2)
+        _, _, stats = pipeline_weights(lenet_factory, 2, 4, "1f1b", 2)
+        assert stats.losses == pytest.approx(ref.losses)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineTrainer(lenet_factory, 2, n_microbatches=0)
+        with pytest.raises(ValueError):
+            PipelineTrainer(lenet_factory, 2, replicas=0)
